@@ -1,0 +1,276 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (Section 5):
+//
+//	BenchmarkTable1_*    — per-directory lifting of the Xen-shaped corpus
+//	BenchmarkTable2_*    — per-binary Step 1 + Step 2 of the CoreUtils corpus
+//	BenchmarkFigure3_*   — lifting time across function sizes
+//	BenchmarkWeirdEdge   — the Section 2 example
+//	BenchmarkFailures    — the Section 5.3 rejections
+//	BenchmarkAblation*   — the design-choice ablations called out in DESIGN.md
+//
+// cmd/xenbench prints the corresponding tables; the benchmarks measure the
+// same pipelines under testing.B. Corpora are generated once per process.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/expr"
+	"repro/internal/memmodel"
+	"repro/internal/pred"
+	"repro/internal/sem"
+	"repro/internal/solver"
+	"repro/internal/triple"
+)
+
+// benchScale keeps per-iteration work benchmark-friendly; cmd/xenbench
+// runs the full-size corpus.
+const benchScale = 0.01
+
+var (
+	benchDirs     map[string]*corpus.Directory
+	benchDirsOnce sync.Once
+
+	benchCU     []*corpus.Unit
+	benchCUOnce sync.Once
+)
+
+func table1Dirs(b *testing.B) map[string]*corpus.Directory {
+	b.Helper()
+	benchDirsOnce.Do(func() {
+		benchDirs = map[string]*corpus.Directory{}
+		for _, shape := range corpus.XenSuite(benchScale) {
+			dir, err := corpus.BuildDirectory(shape, 1)
+			if err != nil {
+				panic(err)
+			}
+			benchDirs[shape.Name] = dir
+		}
+	})
+	return benchDirs
+}
+
+func coreutils(b *testing.B) []*corpus.Unit {
+	b.Helper()
+	benchCUOnce.Do(func() {
+		units, err := corpus.CoreUtilsSuite(0.12)
+		if err != nil {
+			panic(err)
+		}
+		benchCU = units
+	})
+	return benchCU
+}
+
+// liftDir lifts every unit of a directory once.
+func liftDir(b *testing.B, dir *corpus.Directory) {
+	b.Helper()
+	for _, u := range dir.Units {
+		cfg := core.DefaultConfig()
+		if u.Budget > 0 {
+			cfg.MaxStates = u.Budget
+		}
+		l := core.New(u.Image, cfg)
+		if u.Kind == corpus.KindBinary {
+			l.LiftBinary(u.Name)
+		} else {
+			l.LiftFunc(u.FuncAddr, u.Name)
+		}
+	}
+}
+
+func benchDir(b *testing.B, name string) {
+	dir := table1Dirs(b)[name]
+	if dir == nil {
+		b.Fatalf("no directory %q", name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		liftDir(b, dir)
+	}
+}
+
+func BenchmarkTable1_bin(b *testing.B)          { benchDir(b, "bin") }
+func BenchmarkTable1_xenbin(b *testing.B)       { benchDir(b, "xen/bin") }
+func BenchmarkTable1_libexec(b *testing.B)      { benchDir(b, "libexec") }
+func BenchmarkTable1_sbin(b *testing.B)         { benchDir(b, "sbin") }
+func BenchmarkTable1_lib(b *testing.B)          { benchDir(b, "lib") }
+func BenchmarkTable1_xenfsimage(b *testing.B)   { benchDir(b, "xenfsimage") }
+func BenchmarkTable1_distpackages(b *testing.B) { benchDir(b, "dist-packages") }
+func BenchmarkTable1_lowlevel(b *testing.B)     { benchDir(b, "lowlevel") }
+
+// benchTable2 lifts one CoreUtils-shaped binary and proves every vertex —
+// the full Step 1 + Step 2 pipeline of Table 2.
+func benchTable2(b *testing.B, name string) {
+	var unit *corpus.Unit
+	for _, u := range coreutils(b) {
+		if u.Name == name {
+			unit = u
+		}
+	}
+	if unit == nil {
+		b.Fatalf("no unit %q", name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := core.New(unit.Image, core.DefaultConfig())
+		br := l.LiftBinary(unit.Name)
+		if br.Status != core.StatusLifted {
+			b.Fatalf("%s: %s", unit.Name, br.Status)
+		}
+		for _, fr := range br.Funcs {
+			rep := triple.CheckGraph(unit.Image, fr.Graph, sem.DefaultConfig(), 2)
+			if rep.Failed != 0 {
+				b.Fatalf("%s/%s: %d failed theorems", unit.Name, fr.Name, rep.Failed)
+			}
+		}
+	}
+}
+
+func BenchmarkTable2_hexdump(b *testing.B) { benchTable2(b, "hexdump") }
+func BenchmarkTable2_od(b *testing.B)      { benchTable2(b, "od") }
+func BenchmarkTable2_wc(b *testing.B)      { benchTable2(b, "wc") }
+func BenchmarkTable2_tar(b *testing.B)     { benchTable2(b, "tar") }
+func BenchmarkTable2_du(b *testing.B)      { benchTable2(b, "du") }
+func BenchmarkTable2_gzip(b *testing.B)    { benchTable2(b, "gzip") }
+
+// benchFigure3 lifts single functions of a given size class, producing the
+// per-size series of Figure 3 (verification time vs instruction count).
+func benchFigure3(b *testing.B, stmts int) {
+	shape := corpus.DirShape{
+		Name: "fig3", Kind: corpus.KindLibFunc, Lifted: 3,
+		MinStmts: stmts, MaxStmts: stmts, Helpers: 1,
+	}
+	dir, err := corpus.BuildDirectory(shape, int64(stmts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instrs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		instrs = 0
+		for _, u := range dir.Units {
+			l := core.New(u.Image, core.DefaultConfig())
+			fr := l.LiftFunc(u.FuncAddr, u.Name)
+			instrs += fr.Stats().Instructions
+		}
+	}
+	b.ReportMetric(float64(instrs), "instructions")
+}
+
+func BenchmarkFigure3_small(b *testing.B)  { benchFigure3(b, 2) }
+func BenchmarkFigure3_medium(b *testing.B) { benchFigure3(b, 6) }
+func BenchmarkFigure3_large(b *testing.B)  { benchFigure3(b, 12) }
+func BenchmarkFigure3_xlarge(b *testing.B) { benchFigure3(b, 24) }
+
+// BenchmarkWeirdEdge lifts and proves the Section 2 binary.
+func BenchmarkWeirdEdge(b *testing.B) {
+	s, err := corpus.WeirdEdge()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := core.New(s.Image, core.DefaultConfig())
+		r := l.LiftFunc(s.FuncAddr, s.Name)
+		if r.Status != core.StatusLifted {
+			b.Fatal(r.Status)
+		}
+		rep := triple.CheckGraph(s.Image, r.Graph, sem.DefaultConfig(), 2)
+		if rep.Failed != 0 {
+			b.Fatal("weird-edge theorems failed")
+		}
+	}
+}
+
+// BenchmarkFailures runs the Section 5.3 rejection scenarios.
+func BenchmarkFailures(b *testing.B) {
+	scenarios, err := corpus.AllScenarios()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range scenarios {
+			l := core.New(s.Image, core.DefaultConfig())
+			l.LiftFunc(s.FuncAddr, s.Name)
+		}
+	}
+}
+
+// ablationConfig lifts the lib directory under a modified configuration.
+func benchAblation(b *testing.B, mutate func(*core.Config)) {
+	dir := table1Dirs(b)["lib"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range dir.Units {
+			cfg := core.DefaultConfig()
+			if u.Budget > 0 {
+				cfg.MaxStates = u.Budget
+			}
+			mutate(&cfg)
+			l := core.New(u.Image, cfg)
+			l.LiftFunc(u.FuncAddr, u.Name)
+		}
+	}
+}
+
+// BenchmarkAblationBaseline is the reference point for the ablations.
+func BenchmarkAblationBaseline(b *testing.B) {
+	benchAblation(b, func(cfg *core.Config) {})
+}
+
+// BenchmarkAblationNoJoin disables state joining: every visit explores a
+// fresh state (bounded only by MaxStates).
+func BenchmarkAblationNoJoin(b *testing.B) {
+	benchAblation(b, func(cfg *core.Config) {
+		cfg.NoJoin = true
+		cfg.MaxStates = 2000
+	})
+}
+
+// BenchmarkAblationJoinCodePointers joins states holding different
+// code-pointer immediates, losing indirection resolution.
+func BenchmarkAblationJoinCodePointers(b *testing.B) {
+	benchAblation(b, func(cfg *core.Config) { cfg.JoinCodePointers = true })
+}
+
+// BenchmarkAblationNoForkUnknown destroys on undecided pointer relations
+// instead of forking memory models.
+func BenchmarkAblationNoForkUnknown(b *testing.B) {
+	benchAblation(b, func(cfg *core.Config) { cfg.Sem.MM.ForkUnknown = false })
+}
+
+// BenchmarkAblationNoBaseAssumptions removes the paper's implicit
+// provenance-separation assumptions: most functions then fail.
+func BenchmarkAblationNoBaseAssumptions(b *testing.B) {
+	benchAblation(b, func(cfg *core.Config) { cfg.Sem.AssumeBaseSeparation = false })
+}
+
+// BenchmarkMemModelIns measures raw memory-model insertion (the ins
+// function of Definition 3.7) on a growing stack frame.
+func BenchmarkMemModelIns(b *testing.B) {
+	cfg := memmodel.DefaultConfig()
+	o := benchOracle{p: pred.New()}
+	for i := 0; i < b.N; i++ {
+		var f memmodel.Forest
+		for s := 0; s < 16; s++ {
+			res := memmodel.Ins(benchRegion(int64(-8*(s+1))), f, o, cfg)
+			f = res[0].Forest
+		}
+	}
+}
+
+type benchOracle struct{ p *pred.Pred }
+
+func (o benchOracle) Compare(r0, r1 solver.Region) solver.Result {
+	return solver.Compare(o.p, r0, r1)
+}
+
+func benchRegion(off int64) solver.Region {
+	return solver.Region{Addr: expr.Add(expr.V("rsp0"), expr.Word(uint64(off))), Size: 8}
+}

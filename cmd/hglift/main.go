@@ -1,0 +1,145 @@
+// Command hglift lifts an x86-64 ELF binary to a Hoare Graph (Step 1 of
+// the paper) and reports the extraction statistics, annotations, proof
+// obligations and assumptions.
+//
+// Usage:
+//
+//	hglift [-func addr|name] [-dump] [-thy] [-stats] binary.elf
+//
+// Without -func the binary is lifted from its entry point, exploring every
+// reachable instruction including internal calls. With -func, the single
+// function is lifted the way the paper lifts exported shared-object
+// functions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/hoare"
+	"repro/internal/image"
+)
+
+func main() {
+	funcSpec := flag.String("func", "", "lift a single function: hex address or symbol name")
+	dump := flag.Bool("dump", false, "print the Hoare graph (vertices, invariants, edges)")
+	thy := flag.Bool("thy", false, "print the Isabelle/HOL-style theory export")
+	disasm := flag.Bool("disasm", false, "print the recovered disassembly")
+	hgOut := flag.String("o", "", "write the lifted graph to this .hg file (requires -func)")
+	dotOut := flag.String("dot", "", "write a Graphviz rendering to this file (requires -func)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hglift [-func addr|name] [-dump] [-thy] [-disasm] binary.elf")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *funcSpec == "" {
+		rep, err := repro.LiftBinary(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("binary: %s\n", rep.Status)
+		printStats(rep.Stats)
+		for _, fr := range rep.Funcs {
+			fmt.Printf("  %-24s %-28s instrs=%-5d states=%-5d A=%d B=%d C=%d\n",
+				fr.Name, fr.Status, fr.Stats.Instructions, fr.Stats.States,
+				fr.Stats.ResolvedInd, fr.Stats.UnresolvedJump, fr.Stats.UnresolvedCall)
+			printDetails(fr, *dump, *thy)
+		}
+		return
+	}
+
+	addr, err := resolveFunc(data, *funcSpec)
+	if err != nil {
+		fatal(err)
+	}
+	fr, err := repro.LiftFunction(data, addr)
+	if err != nil {
+		fatal(err)
+	}
+	if *hgOut != "" || *dotOut != "" {
+		im, err := image.Load(data)
+		if err != nil {
+			fatal(err)
+		}
+		l := core.New(im, core.DefaultConfig())
+		res := l.LiftFunc(addr, fr.Name)
+		if res.Graph == nil {
+			fatal(fmt.Errorf("no graph to export"))
+		}
+		if *hgOut != "" {
+			if err := os.WriteFile(*hgOut, hoare.Marshal(res.Graph), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Println("graph written to", *hgOut)
+		}
+		if *dotOut != "" {
+			if err := os.WriteFile(*dotOut, []byte(res.Graph.ToDOT()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Println("dot written to", *dotOut)
+		}
+	}
+	fmt.Printf("%s @ %#x: %s\n", fr.Name, fr.Addr, fr.Status)
+	for _, r := range fr.Reasons {
+		fmt.Printf("  reason: %s\n", r)
+	}
+	printStats(fr.Stats)
+	printDetails(fr, *dump, *thy)
+	if *disasm {
+		lines, err := repro.Disasm(data, addr)
+		if err != nil {
+			fatal(err)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+}
+
+func resolveFunc(data []byte, spec string) (uint64, error) {
+	if addr, err := strconv.ParseUint(spec, 0, 64); err == nil {
+		return addr, nil
+	}
+	syms, err := repro.FuncSymbols(data)
+	if err != nil {
+		return 0, err
+	}
+	if addr, ok := syms[spec]; ok {
+		return addr, nil
+	}
+	return 0, fmt.Errorf("hglift: no function %q (have %d symbols)", spec, len(syms))
+}
+
+func printStats(s repro.Stats) {
+	fmt.Printf("  instructions=%d states=%d edges=%d resolved=%d unresolved-jumps=%d unresolved-calls=%d\n",
+		s.Instructions, s.States, s.Edges, s.ResolvedInd, s.UnresolvedJump, s.UnresolvedCall)
+}
+
+func printDetails(fr *repro.FuncReport, dump, thy bool) {
+	for _, o := range fr.Obligations {
+		fmt.Printf("  obligation: %s\n", o)
+	}
+	for _, a := range fr.Assumptions {
+		fmt.Printf("  assumption: %s\n", a)
+	}
+	if dump {
+		fmt.Println(fr.Graph)
+	}
+	if thy {
+		fmt.Println(fr.Theory)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hglift:", err)
+	os.Exit(1)
+}

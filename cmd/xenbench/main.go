@@ -1,0 +1,297 @@
+// Command xenbench regenerates every table and figure of the paper's
+// evaluation (Section 5) on the synthetic corpus:
+//
+//	-table1    Table 1  — Xen-shaped case study statistics per directory
+//	-table2    Table 2  — CoreUtils-shaped binaries exported & proven (Step 2)
+//	-fig3      Figure 3 — per-function verification time vs instruction count
+//	-weird     Section 2 — the weird-edge binary's Hoare graph
+//	-failures  Section 5.3 — the three failure case studies
+//	-all       everything above
+//
+// -scale shrinks the Table 1 unit counts (1.0 = the paper's 63 binaries
+// and 2151 library functions; the default keeps runtimes laptop-friendly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/hoare"
+	"repro/internal/sem"
+	"repro/internal/triple"
+	"repro/internal/x86"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "regenerate Table 1")
+	table2 := flag.Bool("table2", false, "regenerate Table 2")
+	fig3 := flag.Bool("fig3", false, "regenerate Figure 3")
+	weird := flag.Bool("weird", false, "regenerate the Section 2 example")
+	failures := flag.Bool("failures", false, "regenerate the Section 5.3 failures")
+	all := flag.Bool("all", false, "run everything")
+	scale := flag.Float64("scale", 0.15, "Table 1 corpus scale (1.0 = paper size)")
+	seed := flag.Int64("seed", 1, "corpus generation seed")
+	flag.Parse()
+
+	if *all {
+		*table1, *table2, *fig3, *weird, *failures = true, true, true, true, true
+	}
+	if !*table1 && !*table2 && !*fig3 && !*weird && !*failures {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *table1 {
+		runTable1(*scale, *seed)
+	}
+	if *table2 {
+		runTable2()
+	}
+	if *fig3 {
+		runFig3(*scale, *seed)
+	}
+	if *weird {
+		runWeird()
+	}
+	if *failures {
+		runFailures()
+	}
+}
+
+// dirResult accumulates one Table 1 row.
+type dirResult struct {
+	name                          string
+	kind                          corpus.UnitKind
+	lifted, unprov, conc, timeout int
+	stats                         hoare.Stats
+	elapsed                       time.Duration
+	times                         []funcTime // for Figure 3
+}
+
+type funcTime struct {
+	instrs int
+	d      time.Duration
+}
+
+func liftDirectory(shape corpus.DirShape, seed int64) (*dirResult, error) {
+	dir, err := corpus.BuildDirectory(shape, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &dirResult{name: shape.Name, kind: shape.Kind}
+	start := time.Now()
+	for _, u := range dir.Units {
+		cfg := core.DefaultConfig()
+		if u.Budget > 0 {
+			cfg.MaxStates = u.Budget
+		}
+		l := core.New(u.Image, cfg)
+		t0 := time.Now()
+		var status core.Status
+		var st hoare.Stats
+		if u.Kind == corpus.KindBinary {
+			br := l.LiftBinary(u.Name)
+			status = br.Status
+			st = br.Stats
+		} else {
+			fr := l.LiftFunc(u.FuncAddr, u.Name)
+			status = fr.Status
+			st = fr.Stats()
+		}
+		d := time.Since(t0)
+		switch status {
+		case core.StatusLifted:
+			res.lifted++
+			res.stats.Add(st)
+			res.times = append(res.times, funcTime{instrs: st.Instructions, d: d})
+		case core.StatusUnprovableRet, core.StatusError:
+			res.unprov++
+		case core.StatusConcurrency:
+			res.conc++
+		case core.StatusTimeout:
+			res.timeout++
+		}
+	}
+	res.elapsed = time.Since(start)
+	return res, nil
+}
+
+func runTable1(scale float64, seed int64) {
+	fmt.Printf("Table 1: Xen-shaped case study (scale %.2f)\n", scale)
+	fmt.Printf("%-16s %-22s %9s %9s %6s %5s %5s %10s\n",
+		"Directory", "w+x+y+z", "Instrs", "States", "A", "B", "C", "Time")
+	var totals [2]dirResult
+	for _, shape := range corpus.XenSuite(scale) {
+		res, err := liftDirectory(shape, seed)
+		if err != nil {
+			fatal(err)
+		}
+		printRow(res)
+		t := &totals[0]
+		if res.kind == corpus.KindLibFunc {
+			t = &totals[1]
+		}
+		t.lifted += res.lifted
+		t.unprov += res.unprov
+		t.conc += res.conc
+		t.timeout += res.timeout
+		t.stats.Add(res.stats)
+		t.elapsed += res.elapsed
+	}
+	totals[0].name = "Total (binaries)"
+	totals[1].name = "Total (lib funcs)"
+	printRow(&totals[0])
+	printRow(&totals[1])
+	fmt.Println("w lifted, x unprovable return address, y concurrency, z timeout")
+	fmt.Println("A resolved indirections, B unresolved jumps, C unresolved calls")
+	fmt.Println()
+}
+
+func printRow(r *dirResult) {
+	total := r.lifted + r.unprov + r.conc + r.timeout
+	wxyz := fmt.Sprintf("%d = %d+%d+%d+%d", total, r.lifted, r.unprov, r.conc, r.timeout)
+	fmt.Printf("%-16s %-22s %9d %9d %6d %5d %5d %10s\n",
+		r.name, wxyz, r.stats.Instructions, r.stats.States,
+		r.stats.ResolvedInd, r.stats.UnresolvedJump, r.stats.UnresolvedCall,
+		r.elapsed.Round(time.Millisecond))
+}
+
+func runTable2() {
+	fmt.Println("Table 2: CoreUtils-shaped binaries exported and proven (Step 2)")
+	fmt.Printf("%-10s %13s %14s %10s %10s %8s\n",
+		"Binary", "#Instructions", "#Indirections", "Proven", "Assumed", "Failed")
+	units, err := corpus.CoreUtilsSuite(1.0)
+	if err != nil {
+		fatal(err)
+	}
+	var sumI, sumInd, sumP, sumA, sumF int
+	for _, u := range units {
+		l := core.New(u.Image, core.DefaultConfig())
+		br := l.LiftBinary(u.Name)
+		if br.Status != core.StatusLifted {
+			fmt.Printf("%-10s NOT LIFTED: %s\n", u.Name, br.Status)
+			continue
+		}
+		var proven, assumed, failed int
+		for _, fr := range br.Funcs {
+			rep := triple.CheckGraph(u.Image, fr.Graph, sem.DefaultConfig(), 2)
+			proven += rep.Proven
+			assumed += rep.Assumed
+			failed += rep.Failed
+		}
+		fmt.Printf("%-10s %13d %14d %10d %10d %8d\n",
+			u.Name, br.Stats.Instructions, br.Stats.ResolvedInd, proven, assumed, failed)
+		sumI += br.Stats.Instructions
+		sumInd += br.Stats.ResolvedInd
+		sumP += proven
+		sumA += assumed
+		sumF += failed
+	}
+	fmt.Printf("%-10s %13d %14d %10d %10d %8d\n", "Total", sumI, sumInd, sumP, sumA, sumF)
+	fmt.Println()
+}
+
+func runFig3(scale float64, seed int64) {
+	fmt.Println("Figure 3: verification time vs instruction count")
+	// A dedicated sweep across function sizes: 10 functions per size
+	// class, scaled by -scale.
+	res := &dirResult{}
+	perClass := int(10*scale + 0.5)
+	if perClass < 2 {
+		perClass = 2
+	}
+	for _, stmts := range []int{2, 4, 8, 12, 16, 24, 32, 48} {
+		shape := corpus.DirShape{
+			Name: "fig3", Kind: corpus.KindLibFunc, Lifted: perClass,
+			MinStmts: stmts, MaxStmts: stmts, Helpers: 1,
+		}
+		r, err := liftDirectory(shape, seed+int64(stmts))
+		if err != nil {
+			fatal(err)
+		}
+		res.times = append(res.times, r.times...)
+	}
+	sort.Slice(res.times, func(i, j int) bool { return res.times[i].instrs < res.times[j].instrs })
+	fmt.Println("instructions,microseconds")
+	for _, ft := range res.times {
+		fmt.Printf("%d,%d\n", ft.instrs, ft.d.Microseconds())
+	}
+	// The paper's observation: very little correlation between size and
+	// time. Report the rank statistics.
+	if n := len(res.times); n > 4 {
+		half := n / 2
+		var smallT, largeT time.Duration
+		for i, ft := range res.times {
+			if i < half {
+				smallT += ft.d
+			} else {
+				largeT += ft.d
+			}
+		}
+		fmt.Printf("# mean time, smaller half: %s; larger half: %s\n",
+			(smallT / time.Duration(half)).Round(time.Microsecond),
+			(largeT / time.Duration(n-half)).Round(time.Microsecond))
+	}
+	fmt.Println()
+}
+
+func runWeird() {
+	fmt.Println("Section 2: the weird-edge binary")
+	s, err := corpus.WeirdEdge()
+	if err != nil {
+		fatal(err)
+	}
+	l := core.New(s.Image, core.DefaultConfig())
+	r := l.LiftFunc(s.FuncAddr, s.Name)
+	st := r.Stats()
+	fmt.Printf("status=%s instrs=%d states=%d resolved=%d weird-vertices=%d\n",
+		r.Status, st.Instructions, st.States, st.ResolvedInd, st.WeirdVertices)
+	for _, e := range r.Graph.SortedEdges() {
+		label := e.Inst.String()
+		marker := ""
+		if e.Inst.Mn == x86.JMP && len(e.Inst.Ops) == 1 && e.Inst.Ops[0].Kind == x86.OpMem {
+			if vs := r.Graph.Vertices[e.To]; vs != nil && vs.Addr == s.FuncAddr+1 {
+				marker = "   <-- WEIRD EDGE (hidden ret gadget)"
+			}
+		}
+		fmt.Printf("  %s -> %s : %s%s\n", e.From, e.To, label, marker)
+	}
+	rep := triple.CheckGraph(s.Image, r.Graph, sem.DefaultConfig(), 2)
+	fmt.Printf("Step 2: %d proven, %d assumed, %d failed\n", rep.Proven, rep.Assumed, rep.Failed)
+	fmt.Println()
+}
+
+func runFailures() {
+	fmt.Println("Section 5.3: failure case studies")
+	scenarios := []func() (*corpus.Scenario, error){
+		corpus.Ret2Win, corpus.StackProbe, corpus.NonStdRSP, corpus.Overflow,
+	}
+	for _, f := range scenarios {
+		s, err := f()
+		if err != nil {
+			fatal(err)
+		}
+		l := core.New(s.Image, core.DefaultConfig())
+		r := l.LiftFunc(s.FuncAddr, s.Name)
+		fmt.Printf("%-12s status=%s\n", s.Name, r.Status)
+		fmt.Printf("             %s\n", s.Describe)
+		for _, reason := range r.Reasons {
+			fmt.Printf("             reason: %s\n", reason)
+		}
+		if r.Graph != nil {
+			for _, o := range r.Graph.Obligations {
+				fmt.Printf("             obligation: %s\n", o)
+			}
+		}
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xenbench:", err)
+	os.Exit(1)
+}

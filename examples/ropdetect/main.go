@@ -1,0 +1,47 @@
+// ROP detection via proof obligations: the Section 5.3 case studies. The
+// ret2win binary calls the unknown external memset with a pointer into its
+// own stack frame; lifting succeeds but emits a proof obligation that
+// memset must preserve the return-address region — the negation of that
+// obligation is exactly the exploit. The stack-probing and non-standard-
+// rsp binaries are rejected outright, and the induced buffer overflow gets
+// no Hoare graph at all.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func main() {
+	fmt.Println("=== ret2win: exploit candidate surfaced as a proof obligation ===")
+	s, err := corpus.Ret2Win()
+	if err != nil {
+		log.Fatal(err)
+	}
+	l := core.New(s.Image, core.DefaultConfig())
+	r := l.LiftFunc(s.FuncAddr, s.Name)
+	fmt.Printf("status: %s\n", r.Status)
+	for _, o := range r.Graph.Obligations {
+		fmt.Printf("obligation: %s\n", o)
+	}
+	fmt.Println("violating the obligation (memset writing ≥ 0x30 bytes) overwrites the return address.")
+
+	fmt.Println("\n=== functions the lifter must reject ===")
+	for _, build := range []func() (*corpus.Scenario, error){
+		corpus.StackProbe, corpus.NonStdRSP, corpus.Overflow,
+	} {
+		s, err := build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		l := core.New(s.Image, core.DefaultConfig())
+		r := l.LiftFunc(s.FuncAddr, s.Name)
+		fmt.Printf("%-12s -> %s\n", s.Name, r.Status)
+		for _, reason := range r.Reasons {
+			fmt.Printf("             %s\n", reason)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package cgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/x86"
+)
+
+// runMain compiles the program, executes its entry function concretely
+// with the given first argument, and returns the exit code (the value
+// passed to exit).
+func runMain(t *testing.T, p *Program, arg uint64) uint64 {
+	t.Helper()
+	res, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := emu.New(res.Image)
+	c.Regs[x86.RDI] = arg
+	var exitCode uint64
+	c.Externals["exit"] = func(c *emu.CPU) {
+		exitCode = c.Regs[x86.RDI]
+		c.Halted = true
+	}
+	if _, err := c.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted {
+		t.Fatal("program did not terminate")
+	}
+	return exitCode
+}
+
+func TestCompileArithmetic(t *testing.T) {
+	// f(x) = (x + 3) * 2 - 1
+	p := &Program{Funcs: []*Func{{
+		Name: "main", Params: 1, Locals: 1,
+		Body: []Stmt{
+			Assign{Dst: 0, Src: Bin{Op: OpAdd, L: Param(0), R: Const(3)}},
+			Return{X: Bin{Op: OpSub, L: Bin{Op: OpMul, L: Local(0), R: Const(2)}, R: Const(1)}},
+		},
+	}}}
+	if got := runMain(t, p, 10); got != 25 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestCompileControlFlow(t *testing.T) {
+	// f(x) = sum of 0..x-1 via while loop, but 99 if x > 100.
+	p := &Program{Funcs: []*Func{{
+		Name: "main", Params: 1, Locals: 2,
+		Body: []Stmt{
+			If{Cond: Cond{Op: CondGt, L: Param(0), R: Const(100)},
+				Then: []Stmt{Return{X: Const(99)}}},
+			Assign{Dst: 0, Src: Const(0)}, // sum
+			Assign{Dst: 1, Src: Const(0)}, // i
+			While{Cond: Cond{Op: CondLt, L: Local(1), R: Param(0)},
+				Body: []Stmt{
+					Assign{Dst: 0, Src: Bin{Op: OpAdd, L: Local(0), R: Local(1)}},
+					Assign{Dst: 1, Src: Bin{Op: OpAdd, L: Local(1), R: Const(1)}},
+				}},
+			Return{X: Local(0)},
+		},
+	}}}
+	if got := runMain(t, p, 10); got != 45 {
+		t.Fatalf("sum: %d", got)
+	}
+	if got := runMain(t, p, 200); got != 99 {
+		t.Fatalf("guard: %d", got)
+	}
+}
+
+func TestCompileSwitch(t *testing.T) {
+	p := &Program{Funcs: []*Func{{
+		Name: "main", Params: 1, Locals: 1,
+		Body: []Stmt{
+			Switch{X: Param(0),
+				Cases: [][]Stmt{
+					{Assign{Dst: 0, Src: Const(10)}},
+					{Assign{Dst: 0, Src: Const(20)}},
+					{Assign{Dst: 0, Src: Const(30)}},
+				},
+				Default: []Stmt{Assign{Dst: 0, Src: Const(77)}}},
+			Return{X: Local(0)},
+		},
+	}}}
+	for arg, want := range map[uint64]uint64{0: 10, 1: 20, 2: 30, 5: 77, 1000: 77} {
+		if got := runMain(t, p, arg); got != want {
+			t.Fatalf("switch(%d) = %d, want %d", arg, got, want)
+		}
+	}
+}
+
+func TestCompileArraysAndGlobals(t *testing.T) {
+	p := &Program{
+		Globals: []Global{{Name: "g0", Size: 8}},
+		Funcs: []*Func{{
+			Name: "main", Params: 1, Locals: 1 + 4, // one scalar + 4-slot array
+			Body: []Stmt{
+				ArrayStore{Arr: 1, Len: 4, Index: Const(0), Src: Const(5), Guarded: true},
+				ArrayStore{Arr: 1, Len: 4, Index: Const(3), Src: Const(7), Guarded: true},
+				ArrayStore{Arr: 1, Len: 4, Index: Param(0), Src: Const(100), Guarded: true},
+				StoreGlobal{Name: "g0", Src: ArrayLoad{Arr: 1, Len: 4, Index: Const(0)}},
+				Return{X: Bin{Op: OpAdd,
+					L: LoadGlobal{Name: "g0"},
+					R: ArrayLoad{Arr: 1, Len: 4, Index: Const(3)}}},
+			},
+		}},
+	}
+	// In-bounds overwrite of slot 0.
+	if got := runMain(t, p, 0); got != 107 {
+		t.Fatalf("got %d", got)
+	}
+	// Out-of-bounds index: the guard skips the store.
+	if got := runMain(t, p, 9999); got != 12 {
+		t.Fatalf("guarded store leaked: %d", got)
+	}
+}
+
+func TestCompileCalls(t *testing.T) {
+	p := &Program{
+		Entry: "main",
+		Funcs: []*Func{
+			{Name: "twice", Params: 1, Locals: 0,
+				Body: []Stmt{Return{X: Bin{Op: OpMul, L: Param(0), R: Const(2)}}}},
+			{Name: "main", Params: 1, Locals: 1,
+				Body: []Stmt{
+					Assign{Dst: 0, Src: Call{Name: "twice", Args: []Expr{Param(0)}}},
+					Return{X: Bin{Op: OpAdd, L: Local(0), R: Const(1)}},
+				}},
+		},
+	}
+	if got := runMain(t, p, 21); got != 43 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestCompileDivMod(t *testing.T) {
+	p := &Program{Funcs: []*Func{{
+		Name: "main", Params: 2, Locals: 0,
+		Body: []Stmt{
+			Return{X: Bin{Op: OpAdd,
+				L: Bin{Op: OpDiv, L: Param(0), R: Const(7)},
+				R: Bin{Op: OpMod, L: Param(0), R: Const(7)}}},
+		},
+	}}}
+	if got := runMain(t, p, 100); got != 14+2 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestCompiledProgramLifts(t *testing.T) {
+	p := &Program{
+		Globals: []Global{{Name: "g0", Size: 8}},
+		Funcs: []*Func{{
+			Name: "main", Params: 1, Locals: 2 + 4,
+			Body: []Stmt{
+				Assign{Dst: 0, Src: Const(0)},
+				Assign{Dst: 1, Src: Const(0)},
+				While{Cond: Cond{Op: CondLt, L: Local(1), R: Const(4)},
+					Body: []Stmt{
+						ArrayStore{Arr: 2, Len: 4, Index: Local(1), Src: Local(1), Guarded: true},
+						Assign{Dst: 1, Src: Bin{Op: OpAdd, L: Local(1), R: Const(1)}},
+					}},
+				Switch{X: Param(0),
+					Cases: [][]Stmt{
+						{Assign{Dst: 0, Src: Const(1)}},
+						{Assign{Dst: 0, Src: ArrayLoad{Arr: 2, Len: 4, Index: Param(0)}}},
+					},
+					Default: []Stmt{StoreGlobal{Name: "g0", Src: Const(9)}}},
+				Return{X: Local(0)},
+			},
+		}},
+	}
+	res, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := core.New(res.Image, core.DefaultConfig())
+	r := l.LiftBinary("compiled")
+	if r.Status != core.StatusLifted {
+		for _, fr := range r.Funcs {
+			t.Logf("%s: %s %v", fr.Name, fr.Status, fr.Reasons)
+		}
+		t.Fatalf("binary status: %s", r.Status)
+	}
+	if r.Stats.ResolvedInd == 0 {
+		t.Fatal("the switch's jump table must be resolved")
+	}
+	if r.Stats.UnresolvedJump != 0 {
+		t.Fatalf("unexpected unresolved jumps: %+v", r.Stats)
+	}
+}
+
+func TestGenProgramDeterministic(t *testing.T) {
+	a := GenProgram(rand.New(rand.NewSource(11)), 4, DefaultFeatures())
+	b := GenProgram(rand.New(rand.NewSource(11)), 4, DefaultFeatures())
+	ra, err := Compile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.ELF) != len(rb.ELF) {
+		t.Fatal("generator not deterministic")
+	}
+	for i := range ra.ELF {
+		if ra.ELF[i] != rb.ELF[i] {
+			t.Fatalf("generator not deterministic at byte %d", i)
+		}
+	}
+}
+
+func TestGeneratedProgramsCompileAndRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		p := GenProgram(rng, 1+rng.Intn(4), DefaultFeatures())
+		res, err := Compile(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		c := emu.New(res.Image)
+		c.Regs[x86.RDI] = uint64(rng.Intn(50))
+		c.Externals["exit"] = func(c *emu.CPU) { c.Halted = true }
+		if _, err := c.Run(200000); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !c.Halted {
+			t.Fatalf("trial %d: did not terminate", trial)
+		}
+	}
+}
+
+func TestGeneratedFeatureStatuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+
+	lift := func(fe Features) core.Status {
+		p := &Program{
+			Globals: []Global{{Name: "g0", Size: 8}},
+			Funcs:   []*Func{GenFunc(rng, "f", nil, fe)},
+			Entry:   "f",
+		}
+		res, err := Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := core.New(res.Image, core.DefaultConfig())
+		return l.LiftFunc(res.Funcs["f"], "f").Status
+	}
+
+	fe := DefaultFeatures()
+	fe.Pthread = true
+	if got := lift(fe); got != core.StatusConcurrency {
+		t.Fatalf("pthread feature: %s", got)
+	}
+	fe = DefaultFeatures()
+	fe.Overflow = true
+	if got := lift(fe); got != core.StatusUnprovableRet {
+		t.Fatalf("overflow feature: %s", got)
+	}
+}

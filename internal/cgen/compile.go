@@ -1,0 +1,563 @@
+package cgen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/elf64"
+	"repro/internal/image"
+	"repro/internal/x86"
+)
+
+// Layout fixes the virtual addresses of the produced image's sections.
+type Layout struct {
+	PLTBase    uint64
+	TextBase   uint64
+	RodataBase uint64
+	DataBase   uint64
+}
+
+// DefaultLayout mirrors a small static Linux executable.
+func DefaultLayout() Layout {
+	return Layout{
+		PLTBase:    0x400800,
+		TextBase:   0x401000,
+		RodataBase: 0x4a0000,
+		DataBase:   0x4b0000,
+	}
+}
+
+// Result is a compiled program.
+type Result struct {
+	ELF    []byte
+	Image  *image.Image
+	Funcs  map[string]uint64 // function name → address
+	Stubs  map[string]uint64 // external name → PLT stub address
+	Layout Layout
+}
+
+// compiler carries the per-program compilation state.
+type compiler struct {
+	p       *Program
+	lay     Layout
+	asm     *x86.Asm
+	stubs   map[string]uint64
+	globals map[string]uint64
+	rodata  []byte
+	// switch jump tables to patch after label resolution:
+	// rodata offset → case labels.
+	tables []tablePatch
+	nlabel int
+	err    error
+}
+
+type tablePatch struct {
+	off    int
+	labels []string
+}
+
+// Compile translates the program into an ELF executable image.
+func Compile(p *Program) (*Result, error) {
+	return CompileWithLayout(p, DefaultLayout())
+}
+
+// CompileWithLayout compiles with explicit section addresses.
+func CompileWithLayout(p *Program, lay Layout) (*Result, error) {
+	c := &compiler{
+		p: p, lay: lay,
+		asm:     x86.NewAsm(lay.TextBase),
+		stubs:   map[string]uint64{},
+		globals: map[string]uint64{},
+	}
+
+	// Assign PLT stubs for every external referenced (exit is always
+	// present: the entry wrapper terminates through it).
+	externs := collectExterns(p)
+	externs = append(externs, "exit")
+	seen := map[string]bool{}
+	for _, e := range externs {
+		if !seen[e] {
+			seen[e] = true
+			c.stubs[e] = lay.PLTBase + uint64(16*(len(c.stubs)))
+		}
+	}
+
+	// Assign global addresses.
+	dataAddr := lay.DataBase
+	var dataBytes []byte
+	for _, g := range p.Globals {
+		c.globals[g.Name] = dataAddr
+		buf := make([]byte, g.Size)
+		copy(buf, g.Init)
+		dataBytes = append(dataBytes, buf...)
+		dataAddr += uint64(g.Size)
+		// 8-byte align.
+		for dataAddr%8 != 0 {
+			dataBytes = append(dataBytes, 0)
+			dataAddr++
+		}
+	}
+
+	// Entry wrapper: call the designated function, then exit(rax).
+	entry := p.Entry
+	if entry == "" && len(p.Funcs) > 0 {
+		entry = p.Funcs[0].Name
+	}
+	c.asm.Label("_start")
+	c.asm.Call("fn_" + entry)
+	c.asm.I(x86.MOV, x86.RegOp(x86.RDI, 8), x86.RegOp(x86.RAX, 8))
+	c.asm.CallAbs(c.stubs["exit"])
+	c.asm.I(x86.UD2)
+
+	for _, f := range p.Funcs {
+		c.compileFunc(f)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	code, err := c.asm.Finish()
+	if err != nil {
+		return nil, err
+	}
+
+	// Patch jump tables now that labels are bound.
+	for _, tp := range c.tables {
+		for i, lbl := range tp.labels {
+			addr, ok := c.asm.LabelAddr(lbl)
+			if !ok {
+				return nil, fmt.Errorf("cgen: unresolved case label %q", lbl)
+			}
+			for j := 0; j < 8; j++ {
+				c.rodata[tp.off+8*i+j] = byte(addr >> (8 * j))
+			}
+		}
+	}
+
+	// PLT stubs: jmp [rip+got] shapes, 16 bytes each.
+	plt := x86.NewAsm(lay.PLTBase)
+	names := make([]string, 0, len(c.stubs))
+	for n := range c.stubs {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return c.stubs[names[i]] < c.stubs[names[j]] })
+	for _, n := range names {
+		start := plt.PC()
+		if start != c.stubs[n] {
+			return nil, fmt.Errorf("cgen: stub layout drift for %s", n)
+		}
+		plt.I(x86.JMP, x86.MemOp(x86.RIP, x86.RegNone, 1, int64(lay.DataBase)+0x10000, 8))
+		for plt.PC() < start+16 {
+			plt.I(x86.NOP)
+		}
+	}
+	pltCode, err := plt.Finish()
+	if err != nil {
+		return nil, err
+	}
+
+	eb := elf64.NewExec(lay.TextBase)
+	eb.AddSection(".plt", elf64.SHFExecinstr, lay.PLTBase, pltCode)
+	eb.AddSection(".text", elf64.SHFExecinstr, lay.TextBase, code)
+	if len(c.rodata) > 0 {
+		eb.AddSection(".rodata", 0, lay.RodataBase, c.rodata)
+	}
+	if len(dataBytes) > 0 {
+		eb.AddSection(".data", elf64.SHFWrite, lay.DataBase, dataBytes)
+	}
+	for _, n := range names {
+		eb.AddFunc(n+"@plt", c.stubs[n], 16)
+	}
+	funcs := map[string]uint64{}
+	for _, f := range p.Funcs {
+		addr, _ := c.asm.LabelAddr("fn_" + f.Name)
+		funcs[f.Name] = addr
+		eb.AddFunc(f.Name, addr, 0)
+	}
+	for _, g := range p.Globals {
+		eb.AddObject(g.Name, c.globals[g.Name], uint64(g.Size))
+	}
+	img, err := eb.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	im, err := image.Load(img)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ELF: img, Image: im, Funcs: funcs, Stubs: c.stubs, Layout: lay}, nil
+}
+
+// collectExterns walks the IR for external call names.
+func collectExterns(p *Program) []string {
+	var out []string
+	var walkExpr func(e Expr)
+	var walkStmts func(ss []Stmt)
+	walkExpr = func(e Expr) {
+		switch e := e.(type) {
+		case Bin:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case Un:
+			walkExpr(e.X)
+		case ArrayLoad:
+			walkExpr(e.Index)
+		case Call:
+			if e.Extern {
+				out = append(out, e.Name)
+			}
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	walkStmts = func(ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case Assign:
+				walkExpr(s.Src)
+			case StoreGlobal:
+				walkExpr(s.Src)
+			case ArrayStore:
+				walkExpr(s.Index)
+				walkExpr(s.Src)
+			case If:
+				walkExpr(s.Cond.L)
+				walkExpr(s.Cond.R)
+				walkStmts(s.Then)
+				walkStmts(s.Else)
+			case While:
+				walkExpr(s.Cond.L)
+				walkExpr(s.Cond.R)
+				walkStmts(s.Body)
+			case Switch:
+				walkExpr(s.X)
+				for _, cs := range s.Cases {
+					walkStmts(cs)
+				}
+				walkStmts(s.Default)
+			case Return:
+				walkExpr(s.X)
+			case ExprStmt:
+				walkExpr(s.X)
+			case CallPtr:
+				walkExpr(s.Ptr)
+				for _, a := range s.Args {
+					walkExpr(a)
+				}
+			case TailJump:
+				walkExpr(s.Target)
+			case Memset:
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		walkStmts(f.Body)
+	}
+	return out
+}
+
+// fresh returns a unique local label.
+func (c *compiler) fresh(prefix string) string {
+	c.nlabel++
+	return fmt.Sprintf(".%s%d", prefix, c.nlabel)
+}
+
+// slotOff returns the rbp-relative offset of a local slot.
+func (f *Func) slotOff(slot int) int64 { return -8 * int64(f.Params+slot+1) }
+
+// paramOff returns the rbp-relative offset of a spilled parameter.
+func (f *Func) paramOff(i int) int64 { return -8 * int64(i+1) }
+
+// arrayBase returns the rbp-relative offset of element 0 of an array that
+// occupies slots [arr, arr+len).
+func (f *Func) arrayBase(arr Local, n int) int64 {
+	return -8 * int64(f.Params+int(arr)+n)
+}
+
+// compileFunc emits one function.
+func (c *compiler) compileFunc(f *Func) {
+	a := c.asm
+	a.Label("fn_" + f.Name)
+	epilogue := c.fresh("ep")
+
+	frame := 8 * int64(f.Params+f.Locals)
+	if frame%16 != 0 {
+		frame += 8
+	}
+	a.I(x86.PUSH, x86.RegOp(x86.RBP, 8))
+	a.I(x86.MOV, x86.RegOp(x86.RBP, 8), x86.RegOp(x86.RSP, 8))
+	if frame > 0 {
+		a.I(x86.SUB, x86.RegOp(x86.RSP, 8), x86.ImmOp(frame, 4))
+	}
+	argRegs := []x86.Reg{x86.RDI, x86.RSI, x86.RDX, x86.RCX}
+	for i := 0; i < f.Params && i < len(argRegs); i++ {
+		a.I(x86.MOV, x86.MemOp(x86.RBP, x86.RegNone, 1, f.paramOff(i), 8), x86.RegOp(argRegs[i], 8))
+	}
+
+	c.compileStmts(f, f.Body, epilogue)
+
+	// Fall-off-the-end returns 0.
+	a.I(x86.XOR, x86.RegOp(x86.RAX, 4), x86.RegOp(x86.RAX, 4))
+	a.Label(epilogue)
+	a.I(x86.LEAVE)
+	a.I(x86.RET)
+}
+
+func (c *compiler) compileStmts(f *Func, ss []Stmt, epilogue string) {
+	for _, s := range ss {
+		c.compileStmt(f, s, epilogue)
+	}
+}
+
+func (c *compiler) compileStmt(f *Func, s Stmt, epilogue string) {
+	a := c.asm
+	switch s := s.(type) {
+	case Assign:
+		c.compileExpr(f, s.Src)
+		a.I(x86.MOV, x86.MemOp(x86.RBP, x86.RegNone, 1, f.slotOff(int(s.Dst)), 8), x86.RegOp(x86.RAX, 8))
+
+	case StoreGlobal:
+		c.compileExpr(f, s.Src)
+		addr, ok := c.globals[s.Name]
+		if !ok {
+			c.fail("unknown global %q", s.Name)
+			return
+		}
+		a.I(x86.MOV, x86.RegOp(x86.RCX, 8), x86.ImmOp(int64(addr), 4))
+		a.I(x86.MOV, x86.MemOp(x86.RCX, x86.RegNone, 1, 0, 8), x86.RegOp(x86.RAX, 8))
+
+	case ArrayStore:
+		c.compileExpr(f, s.Src)
+		a.I(x86.PUSH, x86.RegOp(x86.RAX, 8))
+		c.compileExpr(f, s.Index)
+		a.I(x86.MOV, x86.RegOp(x86.RCX, 8), x86.RegOp(x86.RAX, 8))
+		a.I(x86.POP, x86.RegOp(x86.RDX, 8))
+		skip := c.fresh("sk")
+		if s.Guarded {
+			a.I(x86.CMP, x86.RegOp(x86.RCX, 8), x86.ImmOp(int64(s.Len-1), 4))
+			a.Jcc(x86.CondA, skip)
+		}
+		a.I(x86.MOV, x86.MemOp(x86.RBP, x86.RCX, 8, f.arrayBase(s.Arr, s.Len), 8), x86.RegOp(x86.RDX, 8))
+		if s.Guarded {
+			a.Label(skip)
+		}
+
+	case If:
+		elseL := c.fresh("el")
+		endL := c.fresh("fi")
+		c.compileCond(f, s.Cond, elseL)
+		c.compileStmts(f, s.Then, epilogue)
+		a.Jmp(endL)
+		a.Label(elseL)
+		c.compileStmts(f, s.Else, epilogue)
+		a.Label(endL)
+
+	case While:
+		top := c.fresh("wh")
+		out := c.fresh("od")
+		a.Label(top)
+		c.compileCond(f, s.Cond, out)
+		c.compileStmts(f, s.Body, epilogue)
+		a.Jmp(top)
+		a.Label(out)
+
+	case Switch:
+		c.compileSwitch(f, s, epilogue)
+
+	case Return:
+		c.compileExpr(f, s.X)
+		a.Jmp(epilogue)
+
+	case ExprStmt:
+		c.compileExpr(f, s.X)
+
+	case TailJump:
+		c.compileExpr(f, s.Target)
+		a.I(x86.JMP, x86.RegOp(x86.RAX, 8))
+
+	case Memset:
+		a.I(x86.LEA, x86.RegOp(x86.RDI, 8),
+			x86.MemOp(x86.RBP, x86.RegNone, 1, f.arrayBase(s.Arr, s.Len), 8))
+		a.I(x86.MOV, x86.RegOp(x86.RCX, 8), x86.ImmOp(int64(s.Len), 4))
+		a.I(x86.XOR, x86.RegOp(x86.RAX, 4), x86.RegOp(x86.RAX, 4))
+		a.Raw(0xf3, 0x48, 0xab) // rep stosq
+
+	case CallPtr:
+		c.compileExpr(f, s.Ptr)
+		a.I(x86.PUSH, x86.RegOp(x86.RAX, 8))
+		c.compileArgs(f, s.Args)
+		a.I(x86.POP, x86.RegOp(x86.RAX, 8))
+		a.I(x86.CALL, x86.RegOp(x86.RAX, 8))
+	}
+}
+
+// compileSwitch emits a bounds check plus a jump through an 8-byte-entry
+// table in .rodata — the construct of Section 2.
+func (c *compiler) compileSwitch(f *Func, s Switch, epilogue string) {
+	a := c.asm
+	dflt := c.fresh("sd")
+	end := c.fresh("se")
+	n := len(s.Cases)
+	caseLabels := make([]string, n)
+	for i := range caseLabels {
+		caseLabels[i] = c.fresh("sc")
+	}
+
+	c.compileExpr(f, s.X)
+	a.I(x86.CMP, x86.RegOp(x86.RAX, 8), x86.ImmOp(int64(n-1), 4))
+	a.Jcc(x86.CondA, dflt)
+	tblAddr := c.lay.RodataBase + uint64(len(c.rodata))
+	c.tables = append(c.tables, tablePatch{off: len(c.rodata), labels: caseLabels})
+	c.rodata = append(c.rodata, make([]byte, 8*n)...)
+	a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.MemOp(x86.RegNone, x86.RAX, 8, int64(tblAddr), 8))
+	a.I(x86.JMP, x86.RegOp(x86.RAX, 8))
+
+	for i, cs := range s.Cases {
+		a.Label(caseLabels[i])
+		c.compileStmts(f, cs, epilogue)
+		a.Jmp(end)
+	}
+	a.Label(dflt)
+	c.compileStmts(f, s.Default, epilogue)
+	a.Label(end)
+}
+
+// compileCond emits the comparison and jumps to notTaken when the
+// condition is false.
+func (c *compiler) compileCond(f *Func, cond Cond, notTaken string) {
+	a := c.asm
+	c.compileExpr(f, cond.R)
+	a.I(x86.PUSH, x86.RegOp(x86.RAX, 8))
+	c.compileExpr(f, cond.L)
+	a.I(x86.POP, x86.RegOp(x86.RCX, 8))
+	a.I(x86.CMP, x86.RegOp(x86.RAX, 8), x86.RegOp(x86.RCX, 8))
+	var cc x86.Cond
+	switch cond.Op {
+	case CondEq:
+		cc = x86.CondNE
+	case CondNe:
+		cc = x86.CondE
+	case CondLt:
+		cc = x86.CondAE
+	case CondLe:
+		cc = x86.CondA
+	case CondGt:
+		cc = x86.CondBE
+	case CondGe:
+		cc = x86.CondB
+	}
+	a.Jcc(cc, notTaken)
+}
+
+// compileArgs evaluates call arguments onto the stack and pops them into
+// the System V argument registers.
+func (c *compiler) compileArgs(f *Func, args []Expr) {
+	a := c.asm
+	argRegs := []x86.Reg{x86.RDI, x86.RSI, x86.RDX, x86.RCX}
+	if len(args) > len(argRegs) {
+		c.fail("too many arguments (%d)", len(args))
+		return
+	}
+	for _, arg := range args {
+		c.compileExpr(f, arg)
+		a.I(x86.PUSH, x86.RegOp(x86.RAX, 8))
+	}
+	for i := len(args) - 1; i >= 0; i-- {
+		a.I(x86.POP, x86.RegOp(argRegs[i], 8))
+	}
+}
+
+// compileExpr leaves the expression's value in rax.
+func (c *compiler) compileExpr(f *Func, e Expr) {
+	a := c.asm
+	switch e := e.(type) {
+	case Const:
+		if int64(e) >= -1<<31 && int64(e) < 1<<31 {
+			a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.ImmOp(int64(e), 4))
+		} else {
+			a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.ImmOp(int64(e), 8))
+		}
+	case Param:
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.MemOp(x86.RBP, x86.RegNone, 1, f.paramOff(int(e)), 8))
+	case Local:
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.MemOp(x86.RBP, x86.RegNone, 1, f.slotOff(int(e)), 8))
+	case LoadGlobal:
+		addr, ok := c.globals[e.Name]
+		if !ok {
+			c.fail("unknown global %q", e.Name)
+			return
+		}
+		a.I(x86.MOV, x86.RegOp(x86.RCX, 8), x86.ImmOp(int64(addr), 4))
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.MemOp(x86.RCX, x86.RegNone, 1, 0, 8))
+	case Un:
+		c.compileExpr(f, e.X)
+		if e.Op == OpNeg {
+			a.I(x86.NEG, x86.RegOp(x86.RAX, 8))
+		} else {
+			a.I(x86.NOT, x86.RegOp(x86.RAX, 8))
+		}
+	case Bin:
+		c.compileExpr(f, e.R)
+		a.I(x86.PUSH, x86.RegOp(x86.RAX, 8))
+		c.compileExpr(f, e.L)
+		a.I(x86.POP, x86.RegOp(x86.RCX, 8))
+		switch e.Op {
+		case OpAdd:
+			a.I(x86.ADD, x86.RegOp(x86.RAX, 8), x86.RegOp(x86.RCX, 8))
+		case OpSub:
+			a.I(x86.SUB, x86.RegOp(x86.RAX, 8), x86.RegOp(x86.RCX, 8))
+		case OpMul:
+			a.I(x86.IMUL, x86.RegOp(x86.RAX, 8), x86.RegOp(x86.RCX, 8))
+		case OpAnd:
+			a.I(x86.AND, x86.RegOp(x86.RAX, 8), x86.RegOp(x86.RCX, 8))
+		case OpOr:
+			a.I(x86.OR, x86.RegOp(x86.RAX, 8), x86.RegOp(x86.RCX, 8))
+		case OpXor:
+			a.I(x86.XOR, x86.RegOp(x86.RAX, 8), x86.RegOp(x86.RCX, 8))
+		case OpShl:
+			a.I(x86.AND, x86.RegOp(x86.RCX, 8), x86.ImmOp(63, 1))
+			a.I(x86.SHL, x86.RegOp(x86.RAX, 8), x86.RegOp(x86.RCX, 1))
+		case OpShr:
+			a.I(x86.AND, x86.RegOp(x86.RCX, 8), x86.ImmOp(63, 1))
+			a.I(x86.SHR, x86.RegOp(x86.RAX, 8), x86.RegOp(x86.RCX, 1))
+		case OpDiv, OpMod:
+			// Guard against the two faulting divisors.
+			safe := c.fresh("dv")
+			a.I(x86.TEST, x86.RegOp(x86.RCX, 8), x86.RegOp(x86.RCX, 8))
+			a.Jcc(x86.CondNE, safe)
+			a.I(x86.MOV, x86.RegOp(x86.RCX, 8), x86.ImmOp(1, 4))
+			a.Label(safe)
+			a.I(x86.CQO)
+			a.I(x86.IDIV, x86.RegOp(x86.RCX, 8))
+			if e.Op == OpMod {
+				a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.RegOp(x86.RDX, 8))
+			}
+		}
+	case ArrayLoad:
+		c.compileExpr(f, e.Index)
+		a.I(x86.AND, x86.RegOp(x86.RAX, 8), x86.ImmOp(int64(e.Len-1), 4))
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.MemOp(x86.RBP, x86.RAX, 8, f.arrayBase(e.Arr, e.Len), 8))
+	case Call:
+		c.compileArgs(f, e.Args)
+		if e.Extern {
+			stub, ok := c.stubs[e.Name]
+			if !ok {
+				c.fail("unknown extern %q", e.Name)
+				return
+			}
+			a.CallAbs(stub)
+		} else {
+			a.Call("fn_" + e.Name)
+		}
+	case FuncAddr:
+		a.LeaLabel(x86.RAX, "fn_"+e.Name)
+	default:
+		c.fail("cgen: unknown expression %T", e)
+	}
+}
+
+func (c *compiler) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("cgen: "+format, args...)
+	}
+}

@@ -1,0 +1,280 @@
+package cgen
+
+import "fmt"
+
+// Interp is a reference interpreter for the IR: the compiler's ground
+// truth. Differential tests run random programs both interpreted and
+// compiled-then-emulated and require identical results, which pins down
+// the compiler, the encoder, the decoder and the emulator against each
+// other.
+type Interp struct {
+	prog    *Program
+	globals map[string]uint64
+	// Externs supplies return values for external calls; missing names
+	// return 0.
+	Externs map[string]func(args []uint64) uint64
+	// steps guards against runaway loops.
+	steps int
+}
+
+// NewInterp returns an interpreter over the program with zeroed globals.
+func NewInterp(p *Program) *Interp {
+	in := &Interp{prog: p, globals: map[string]uint64{}, Externs: map[string]func([]uint64) uint64{}}
+	for _, g := range p.Globals {
+		var v uint64
+		for i := 0; i < len(g.Init) && i < 8; i++ {
+			v |= uint64(g.Init[i]) << (8 * i)
+		}
+		in.globals[g.Name] = v
+	}
+	return in
+}
+
+// maxInterpSteps bounds total interpreted statements.
+const maxInterpSteps = 1 << 20
+
+type frame struct {
+	f      *Func
+	params []uint64
+	locals []uint64
+}
+
+// errReturn carries a function's return value through the statement walk.
+type errReturn struct{ v uint64 }
+
+func (errReturn) Error() string { return "return" }
+
+// Call runs the named function with the given arguments.
+func (in *Interp) Call(name string, args ...uint64) (uint64, error) {
+	var fn *Func
+	for _, f := range in.prog.Funcs {
+		if f.Name == name {
+			fn = f
+		}
+	}
+	if fn == nil {
+		return 0, fmt.Errorf("cgen: no function %q", name)
+	}
+	fr := &frame{f: fn, params: make([]uint64, fn.Params), locals: make([]uint64, fn.Locals)}
+	copy(fr.params, args)
+	err := in.stmts(fr, fn.Body)
+	if r, ok := err.(errReturn); ok {
+		return r.v, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return 0, nil // fall off the end: the compiler returns 0 too
+}
+
+func (in *Interp) stmts(fr *frame, ss []Stmt) error {
+	for _, s := range ss {
+		if err := in.stmt(fr, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) stmt(fr *frame, s Stmt) error {
+	in.steps++
+	if in.steps > maxInterpSteps {
+		return fmt.Errorf("cgen: interpreter step budget exhausted")
+	}
+	switch s := s.(type) {
+	case Assign:
+		v, err := in.eval(fr, s.Src)
+		if err != nil {
+			return err
+		}
+		fr.locals[s.Dst] = v
+	case StoreGlobal:
+		v, err := in.eval(fr, s.Src)
+		if err != nil {
+			return err
+		}
+		in.globals[s.Name] = v
+	case ArrayStore:
+		idx, err := in.eval(fr, s.Index)
+		if err != nil {
+			return err
+		}
+		v, err := in.eval(fr, s.Src)
+		if err != nil {
+			return err
+		}
+		if s.Guarded && idx > uint64(s.Len-1) {
+			return nil // the compiled guard skips the store
+		}
+		if idx < uint64(s.Len) {
+			// Element i lives at slot Arr+Len-1-i (see arrayBase).
+			fr.locals[int(s.Arr)+s.Len-1-int(idx)] = v
+		}
+	case If:
+		c, err := in.cond(fr, s.Cond)
+		if err != nil {
+			return err
+		}
+		if c {
+			return in.stmts(fr, s.Then)
+		}
+		return in.stmts(fr, s.Else)
+	case While:
+		for {
+			c, err := in.cond(fr, s.Cond)
+			if err != nil {
+				return err
+			}
+			if !c {
+				return nil
+			}
+			if err := in.stmts(fr, s.Body); err != nil {
+				return err
+			}
+		}
+	case Switch:
+		x, err := in.eval(fr, s.X)
+		if err != nil {
+			return err
+		}
+		if x < uint64(len(s.Cases)) {
+			return in.stmts(fr, s.Cases[x])
+		}
+		return in.stmts(fr, s.Default)
+	case Return:
+		v, err := in.eval(fr, s.X)
+		if err != nil {
+			return err
+		}
+		return errReturn{v}
+	case ExprStmt:
+		_, err := in.eval(fr, s.X)
+		return err
+	case Memset:
+		for i := 0; i < s.Len; i++ {
+			fr.locals[int(s.Arr)+i] = 0
+		}
+	case CallPtr, TailJump:
+		return fmt.Errorf("cgen: %T is not interpretable (requires concrete code addresses)", s)
+	}
+	return nil
+}
+
+func (in *Interp) cond(fr *frame, c Cond) (bool, error) {
+	l, err := in.eval(fr, c.L)
+	if err != nil {
+		return false, err
+	}
+	r, err := in.eval(fr, c.R)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case CondEq:
+		return l == r, nil
+	case CondNe:
+		return l != r, nil
+	case CondLt:
+		return l < r, nil
+	case CondLe:
+		return l <= r, nil
+	case CondGt:
+		return l > r, nil
+	case CondGe:
+		return l >= r, nil
+	}
+	return false, fmt.Errorf("cgen: bad cond op %d", c.Op)
+}
+
+func (in *Interp) eval(fr *frame, e Expr) (uint64, error) {
+	switch e := e.(type) {
+	case Const:
+		return uint64(e), nil
+	case Param:
+		if int(e) >= len(fr.params) {
+			return 0, fmt.Errorf("cgen: param %d out of range", e)
+		}
+		return fr.params[e], nil
+	case Local:
+		return fr.locals[e], nil
+	case LoadGlobal:
+		return in.globals[e.Name], nil
+	case Un:
+		v, err := in.eval(fr, e.X)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == OpNeg {
+			return -v, nil
+		}
+		return ^v, nil
+	case Bin:
+		l, err := in.eval(fr, e.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := in.eval(fr, e.R)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case OpAdd:
+			return l + r, nil
+		case OpSub:
+			return l - r, nil
+		case OpMul:
+			return l * r, nil
+		case OpAnd:
+			return l & r, nil
+		case OpOr:
+			return l | r, nil
+		case OpXor:
+			return l ^ r, nil
+		case OpShl:
+			return l << (r & 63), nil
+		case OpShr:
+			return l >> (r & 63), nil
+		case OpDiv, OpMod:
+			d := int64(r)
+			if d == 0 {
+				d = 1 // the compiled guard substitutes 1
+			}
+			n := int64(l)
+			if n == -1<<63 && d == -1 {
+				// idiv would fault; the corpus never generates this, and
+				// the emulator reports it as a fault.
+				return 0, fmt.Errorf("cgen: idiv overflow")
+			}
+			if e.Op == OpDiv {
+				return uint64(n / d), nil
+			}
+			return uint64(n % d), nil
+		}
+	case ArrayLoad:
+		idx, err := in.eval(fr, e.Index)
+		if err != nil {
+			return 0, err
+		}
+		idx &= uint64(e.Len - 1)
+		return fr.locals[int(e.Arr)+e.Len-1-int(idx)], nil
+	case Call:
+		args := make([]uint64, len(e.Args))
+		for i, a := range e.Args {
+			v, err := in.eval(fr, a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		if e.Extern {
+			if h, ok := in.Externs[e.Name]; ok {
+				return h(args), nil
+			}
+			return 0, nil
+		}
+		return in.Call(e.Name, args...)
+	case FuncAddr:
+		return 0, fmt.Errorf("cgen: FuncAddr is not interpretable")
+	}
+	return 0, fmt.Errorf("cgen: bad expression %T", e)
+}

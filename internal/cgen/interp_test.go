@@ -1,0 +1,153 @@
+package cgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/x86"
+)
+
+func TestInterpBasics(t *testing.T) {
+	p := &Program{
+		Globals: []Global{{Name: "g0", Size: 8, Init: []byte{5}}},
+		Funcs: []*Func{
+			{Name: "add3", Params: 1, Locals: 0,
+				Body: []Stmt{Return{X: Bin{Op: OpAdd, L: Param(0), R: Const(3)}}}},
+			{Name: "main", Params: 1, Locals: 2 + 4,
+				Body: []Stmt{
+					Assign{Dst: 0, Src: Call{Name: "add3", Args: []Expr{Param(0)}}},
+					ArrayStore{Arr: 2, Len: 4, Index: Const(1), Src: Local(0), Guarded: true},
+					StoreGlobal{Name: "g0", Src: Bin{Op: OpAdd, L: LoadGlobal{Name: "g0"}, R: Const(1)}},
+					Return{X: Bin{Op: OpAdd,
+						L: ArrayLoad{Arr: 2, Len: 4, Index: Const(1)},
+						R: LoadGlobal{Name: "g0"}}},
+				}},
+		},
+	}
+	in := NewInterp(p)
+	got, err := in.Call("main", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 13+6 {
+		t.Fatalf("interp: %d", got)
+	}
+}
+
+func TestInterpControlFlow(t *testing.T) {
+	p := &Program{Funcs: []*Func{{
+		Name: "f", Params: 1, Locals: 2,
+		Body: []Stmt{
+			Assign{Dst: 0, Src: Const(0)},
+			Assign{Dst: 1, Src: Const(0)},
+			While{Cond: Cond{Op: CondLt, L: Local(1), R: Param(0)},
+				Body: []Stmt{
+					Assign{Dst: 0, Src: Bin{Op: OpAdd, L: Local(0), R: Local(1)}},
+					Assign{Dst: 1, Src: Bin{Op: OpAdd, L: Local(1), R: Const(1)}},
+				}},
+			Switch{X: Local(0),
+				Cases:   [][]Stmt{{Return{X: Const(1000)}}, {Return{X: Const(2000)}}},
+				Default: []Stmt{}},
+			Return{X: Local(0)},
+		},
+	}}}
+	in := NewInterp(p)
+	if v, _ := in.Call("f", 2); v != 2000 { // sum 0+1 = 1 → case 1
+		t.Fatalf("got %d", v)
+	}
+	if v, _ := in.Call("f", 4); v != 6 { // sum = 6 → default, returns local
+		t.Fatalf("got %d", v)
+	}
+}
+
+// TestDifferentialInterpVsCompiled runs random programs both interpreted
+// and compiled-then-emulated; the exit values must agree. This pins the
+// compiler, encoder, decoder and emulator against the IR semantics.
+func TestDifferentialInterpVsCompiled(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	trials := 40
+	for trial := 0; trial < trials; trial++ {
+		fe := DefaultFeatures()
+		fe.ExternCalls = 0 // externals differ between the two executions
+		p := GenProgram(rng, 1+rng.Intn(3), fe)
+		res, err := Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 4; run++ {
+			arg := uint64(rng.Intn(64))
+
+			in := NewInterp(p)
+			want, err := in.Call(p.Entry, arg)
+			if err != nil {
+				t.Fatalf("trial %d: interp: %v", trial, err)
+			}
+
+			c := emu.New(res.Image)
+			c.Regs[x86.RDI] = arg
+			var got uint64
+			exited := false
+			c.Externals["exit"] = func(c *emu.CPU) {
+				got = c.Regs[x86.RDI]
+				exited = true
+				c.Halted = true
+			}
+			if _, err := c.Run(2_000_000); err != nil {
+				t.Fatalf("trial %d: emu: %v", trial, err)
+			}
+			if !exited {
+				t.Fatalf("trial %d: compiled program did not exit", trial)
+			}
+			if got != want {
+				t.Fatalf("trial %d arg %d: interpreted %d, compiled %d", trial, arg, want, got)
+			}
+		}
+	}
+}
+
+// TestDifferentialHandWritten runs the differential on deterministic
+// programs covering each construct individually.
+func TestDifferentialHandWritten(t *testing.T) {
+	programs := []*Program{
+		{Funcs: []*Func{{Name: "m", Params: 2, Locals: 1, Body: []Stmt{
+			Assign{Dst: 0, Src: Bin{Op: OpDiv, L: Param(0), R: Param(1)}},
+			Return{X: Bin{Op: OpAdd, L: Local(0), R: Bin{Op: OpMod, L: Param(0), R: Param(1)}}},
+		}}}},
+		{Funcs: []*Func{{Name: "m", Params: 1, Locals: 1, Body: []Stmt{
+			Assign{Dst: 0, Src: Un{Op: OpNot, X: Un{Op: OpNeg, X: Param(0)}}},
+			Return{X: Bin{Op: OpXor, L: Local(0), R: Bin{Op: OpShl, L: Param(0), R: Const(5)}}},
+		}}}},
+		{Globals: []Global{{Name: "g0", Size: 8}}, Funcs: []*Func{{Name: "m", Params: 1, Locals: 1 + 8, Body: []Stmt{
+			ArrayStore{Arr: 1, Len: 8, Index: Param(0), Src: Const(41), Guarded: true},
+			StoreGlobal{Name: "g0", Src: ArrayLoad{Arr: 1, Len: 8, Index: Param(0)}},
+			Return{X: LoadGlobal{Name: "g0"}},
+		}}}},
+	}
+	for pi, p := range programs {
+		p.Entry = "m"
+		res, err := Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, arg := range []uint64{0, 1, 3, 7, 9, 100} {
+			in := NewInterp(p)
+			args := []uint64{arg, 7}
+			want, err := in.Call("m", args[:p.Funcs[0].Params]...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := emu.New(res.Image)
+			c.Regs[x86.RDI] = arg
+			c.Regs[x86.RSI] = 7
+			var got uint64
+			c.Externals["exit"] = func(c *emu.CPU) { got = c.Regs[x86.RDI]; c.Halted = true }
+			if _, err := c.Run(100000); err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("program %d arg %d: interp %d vs compiled %d", pi, arg, want, got)
+			}
+		}
+	}
+}

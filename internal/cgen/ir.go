@@ -1,0 +1,220 @@
+// Package cgen is a small C-like intermediate representation and a
+// compiler from it to real x86-64 machine code in real ELF images. It
+// stands in for the paper's GCC-compiled corpus (Xen, CoreUtils): the
+// lifter consumes raw bytes either way, and the generator exercises every
+// analysis path — stack frames, bounded and unbounded array accesses,
+// switch statements compiled to jump tables, direct/external/indirect
+// calls, globals — with controlled ground truth.
+package cgen
+
+// Program is a compilation unit.
+type Program struct {
+	Funcs   []*Func
+	Globals []Global
+	// Entry optionally names the function that the ELF entry point wraps
+	// (the wrapper calls it and then calls exit). Empty: first function.
+	Entry string
+}
+
+// Global is a named .data object.
+type Global struct {
+	Name string
+	Size int // bytes
+	Init []byte
+}
+
+// Func is one C-like function. Parameters arrive in the System V integer
+// registers and are spilled to the frame; locals are 8-byte slots; arrays
+// occupy runs of consecutive slots.
+type Func struct {
+	Name   string
+	Params int // ≤ 4
+	Locals int // 8-byte slots, including array storage
+	Body   []Stmt
+}
+
+// Expr is an IR expression (64-bit values).
+type Expr interface{ isExpr() }
+
+// Const is an integer literal.
+type Const int64
+
+// Param reads the n-th parameter.
+type Param int
+
+// Local reads a local slot.
+type Local int
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// The binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpDiv // signed
+	OpMod // signed
+)
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// UnOp enumerates unary operators.
+type UnOp uint8
+
+// The unary operators.
+const (
+	OpNeg UnOp = iota
+	OpNot
+)
+
+// Un applies a unary operator.
+type Un struct {
+	Op UnOp
+	X  Expr
+}
+
+// LoadGlobal reads 8 bytes from a named global.
+type LoadGlobal struct{ Name string }
+
+// ArrayLoad reads slot Arr+Index of a local array (Index is masked to the
+// array bound, mirroring defensive C).
+type ArrayLoad struct {
+	Arr   Local
+	Len   int // power of two
+	Index Expr
+}
+
+// Call invokes a function and yields its return value. Extern calls go
+// through the PLT.
+type Call struct {
+	Name   string
+	Args   []Expr
+	Extern bool
+}
+
+// FuncAddr yields the address of a function (for callbacks).
+type FuncAddr struct{ Name string }
+
+func (Const) isExpr()      {}
+func (Param) isExpr()      {}
+func (Local) isExpr()      {}
+func (Bin) isExpr()        {}
+func (Un) isExpr()         {}
+func (LoadGlobal) isExpr() {}
+func (ArrayLoad) isExpr()  {}
+func (Call) isExpr()       {}
+func (FuncAddr) isExpr()   {}
+
+// CondOp enumerates comparison operators (unsigned unless noted).
+type CondOp uint8
+
+// The comparison operators.
+const (
+	CondEq CondOp = iota
+	CondNe
+	CondLt
+	CondLe
+	CondGt
+	CondGe
+)
+
+// Cond is a branch condition L op R.
+type Cond struct {
+	Op   CondOp
+	L, R Expr
+}
+
+// Stmt is an IR statement.
+type Stmt interface{ isStmt() }
+
+// Assign stores into a local slot.
+type Assign struct {
+	Dst Local
+	Src Expr
+}
+
+// StoreGlobal stores 8 bytes into a named global.
+type StoreGlobal struct {
+	Name string
+	Src  Expr
+}
+
+// ArrayStore writes slot Arr+Index of a local array. When Guarded, the
+// compiler emits a bounds check (cmp/ja) that skips the store — the
+// pattern the lifter proves safe. Unguarded stores reproduce the buffer
+// overflow of Section 5.1's rejected binary.
+type ArrayStore struct {
+	Arr     Local
+	Len     int
+	Index   Expr
+	Src     Expr
+	Guarded bool
+}
+
+// If branches on a condition.
+type If struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+// While loops while the condition holds.
+type While struct {
+	Cond Cond
+	Body []Stmt
+}
+
+// Switch dispatches on X over cases 0..len(Cases)-1 through a jump table
+// in .rodata; out-of-range values fall to Default.
+type Switch struct {
+	X       Expr
+	Cases   [][]Stmt
+	Default []Stmt
+}
+
+// Return returns a value.
+type Return struct{ X Expr }
+
+// ExprStmt evaluates an expression for effect (typically a Call).
+type ExprStmt struct{ X Expr }
+
+// CallPtr calls through a function pointer value (a callback: the
+// unresolved indirect calls of Table 1's column C).
+type CallPtr struct {
+	Ptr  Expr
+	Args []Expr
+}
+
+// TailJump transfers control to a computed address (jmp reg). When the
+// target is loaded from writable data the lifter cannot bound it — the
+// unresolved indirect jumps of Table 1's column B.
+type TailJump struct{ Target Expr }
+
+// Memset zeroes a whole local array with rep stosq — the inline memset
+// idiom compilers emit, which the lifter must prove frame-bounded.
+type Memset struct {
+	Arr Local
+	Len int
+}
+
+func (Assign) isStmt()      {}
+func (StoreGlobal) isStmt() {}
+func (ArrayStore) isStmt()  {}
+func (If) isStmt()          {}
+func (While) isStmt()       {}
+func (Switch) isStmt()      {}
+func (Return) isStmt()      {}
+func (ExprStmt) isStmt()    {}
+func (CallPtr) isStmt()     {}
+func (TailJump) isStmt()    {}
+func (Memset) isStmt()      {}

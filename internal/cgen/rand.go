@@ -1,0 +1,279 @@
+package cgen
+
+import "math/rand"
+
+// Features controls which constructs the random generator emits; the
+// corpus uses it to shape suites after Table 1's directories (callbacks
+// drive unresolved calls, switches drive resolved indirections, pthread
+// calls drive concurrency rejections, unguarded stores drive
+// unprovable-return-address rejections).
+type Features struct {
+	// StmtsPerFunc bounds the top-level statement count.
+	StmtsPerFunc int
+	// MaxDepth bounds statement nesting.
+	MaxDepth int
+	// Switches, Loops, Ifs, Arrays, Globals, ExternCalls, InternCalls are
+	// per-mille probabilities of picking each construct.
+	Switches, Loops, Ifs, Arrays, Globals, ExternCalls, InternCalls int
+	// Callback inserts a call through a function-pointer parameter
+	// (unresolvable, column C) somewhere in the function.
+	Callback bool
+	// CompJump inserts a computed jump through writable data on one
+	// branch (unresolvable, column B).
+	CompJump bool
+	// Pthread inserts a pthread_create call (concurrency rejection).
+	Pthread bool
+	// Overflow inserts an unguarded array store with an unbounded index
+	// (unprovable return address).
+	Overflow bool
+	// Externs lists external functions the generator may call.
+	Externs []string
+}
+
+// DefaultFeatures returns a benign mix.
+func DefaultFeatures() Features {
+	return Features{
+		StmtsPerFunc: 6,
+		MaxDepth:     2,
+		Switches:     120,
+		Loops:        200,
+		Ifs:          300,
+		Arrays:       200,
+		Globals:      150,
+		ExternCalls:  120,
+		InternCalls:  150,
+		Externs:      []string{"malloc", "free", "printf", "memcpy", "strlen"},
+	}
+}
+
+// generator carries per-function random state.
+type generator struct {
+	rng         *rand.Rand
+	fe          Features
+	f           *Func
+	others      []string // callable sibling functions
+	arrays      []arrayDecl
+	counterBase Local // per-depth loop counters, never randomly assigned
+}
+
+type arrayDecl struct {
+	base Local
+	n    int
+}
+
+// GenFunc generates one random function. others names sibling functions
+// that may be called (direct internal calls).
+func GenFunc(rng *rand.Rand, name string, others []string, fe Features) *Func {
+	g := &generator{rng: rng, fe: fe, others: others}
+	f := &Func{Name: name, Params: 1 + rng.Intn(3)}
+	g.f = f
+
+	// A few scalar locals.
+	nScalars := 2 + rng.Intn(3)
+	f.Locals = nScalars
+
+	// Optionally an array (power-of-two length), sometimes zero-filled
+	// with the inline memset idiom (rep stosq).
+	if g.pick(fe.Arrays) || fe.Overflow {
+		n := 4 << rng.Intn(2) // 4 or 8 slots
+		g.arrays = append(g.arrays, arrayDecl{base: Local(f.Locals), n: n})
+		f.Locals += n
+	}
+
+	// Initialise scalars from parameters.
+	for i := 0; i < nScalars; i++ {
+		f.Body = append(f.Body, Assign{Dst: Local(i), Src: g.leafExpr()})
+	}
+	// Reserve one loop-counter slot per nesting depth, outside the
+	// randomly assignable scalars, so generated loops always terminate:
+	// a loop's body can only reset deeper counters, never its own.
+	g.counterBase = Local(f.Locals)
+	f.Locals += fe.MaxDepth + 1
+
+	if len(g.arrays) > 0 && rng.Intn(2) == 0 {
+		a := g.arrays[0]
+		f.Body = append(f.Body, Memset{Arr: a.base, Len: a.n})
+	}
+
+	n := 1 + rng.Intn(fe.StmtsPerFunc)
+	for i := 0; i < n; i++ {
+		f.Body = append(f.Body, g.stmt(fe.MaxDepth, nScalars))
+	}
+
+	if fe.Pthread {
+		f.Body = append(f.Body, ExprStmt{X: Call{Name: "pthread_create", Args: []Expr{Param(0)}, Extern: true}})
+	}
+	if fe.Callback {
+		f.Body = append(f.Body, CallPtr{Ptr: Param(0), Args: []Expr{Const(1)}})
+	}
+	if fe.CompJump {
+		f.Body = append(f.Body, If{
+			Cond: Cond{Op: CondEq, L: Param(0), R: Const(0x5a5a)},
+			Then: []Stmt{TailJump{Target: LoadGlobal{Name: "g1"}}},
+		})
+	}
+	if fe.Overflow {
+		arr := g.arrays[0]
+		f.Body = append(f.Body, ArrayStore{Arr: arr.base, Len: arr.n, Index: Param(0), Src: Const(0), Guarded: false})
+	}
+	f.Body = append(f.Body, Return{X: g.valueExpr(1)})
+	return f
+}
+
+func (g *generator) pick(permille int) bool { return g.rng.Intn(1000) < permille }
+
+// leafExpr yields a parameter, local or constant.
+func (g *generator) leafExpr() Expr {
+	switch g.rng.Intn(3) {
+	case 0:
+		return Param(g.rng.Intn(g.f.Params))
+	case 1:
+		if g.f.Locals > 0 {
+			return Local(g.rng.Intn(minInt(g.f.Locals, 4)))
+		}
+		return Const(int64(g.rng.Intn(100)))
+	default:
+		return Const(int64(g.rng.Intn(1000)))
+	}
+}
+
+// valueExpr yields an expression of bounded depth.
+func (g *generator) valueExpr(depth int) Expr {
+	if depth <= 0 {
+		return g.leafExpr()
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		ops := []BinOp{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor}
+		return Bin{Op: ops[g.rng.Intn(len(ops))], L: g.valueExpr(depth - 1), R: g.leafExpr()}
+	case 1:
+		return Un{Op: UnOp(g.rng.Intn(2)), X: g.valueExpr(depth - 1)}
+	case 2:
+		if len(g.arrays) > 0 {
+			a := g.arrays[0]
+			return ArrayLoad{Arr: a.base, Len: a.n, Index: g.leafExpr()}
+		}
+		return g.leafExpr()
+	case 3:
+		if g.pick(g.fe.Globals) {
+			return LoadGlobal{Name: "g0"}
+		}
+		return g.leafExpr()
+	case 4:
+		return Bin{Op: OpDiv, L: g.leafExpr(), R: Const(int64(2 + g.rng.Intn(9)))}
+	default:
+		return g.leafExpr()
+	}
+}
+
+func (g *generator) cond() Cond {
+	return Cond{
+		Op: CondOp(g.rng.Intn(6)),
+		L:  g.leafExpr(),
+		R:  Const(int64(g.rng.Intn(32))),
+	}
+}
+
+// stmt yields a random statement of bounded depth; nScalars is the count
+// of assignable scalar slots.
+func (g *generator) stmt(depth, nScalars int) Stmt {
+	r := g.rng.Intn(1000)
+	fe := g.fe
+	switch {
+	case depth > 0 && r < fe.Switches:
+		nCases := 2 + g.rng.Intn(3)
+		cases := make([][]Stmt, nCases)
+		for i := range cases {
+			cases[i] = []Stmt{g.assign(nScalars)}
+		}
+		return Switch{X: g.leafExpr(), Cases: cases, Default: []Stmt{g.assign(nScalars)}}
+	case depth > 0 && r < fe.Switches+fe.Loops:
+		// A bounded counting loop over this depth's reserved counter:
+		// counter = 0; while counter < k { body; counter++ }.
+		iv := g.counterBase + Local(depth)
+		k := int64(2 + g.rng.Intn(6))
+		body := []Stmt{
+			g.stmt(depth-1, nScalars),
+			Assign{Dst: iv, Src: Bin{Op: OpAdd, L: Local(iv), R: Const(1)}},
+		}
+		return If{ // reset then loop, wrapped to keep the counter fresh
+			Cond: Cond{Op: CondGe, L: Const(1), R: Const(0)},
+			Then: []Stmt{
+				Assign{Dst: iv, Src: Const(0)},
+				While{Cond: Cond{Op: CondLt, L: Local(iv), R: Const(k)}, Body: body},
+			},
+		}
+	case depth > 0 && r < fe.Switches+fe.Loops+fe.Ifs:
+		return If{
+			Cond: g.cond(),
+			Then: []Stmt{g.stmt(depth-1, nScalars)},
+			Else: []Stmt{g.assign(nScalars)},
+		}
+	case r < fe.Switches+fe.Loops+fe.Ifs+fe.Arrays && len(g.arrays) > 0:
+		a := g.arrays[0]
+		return ArrayStore{
+			Arr: a.base, Len: a.n,
+			Index:   g.leafExpr(),
+			Src:     g.valueExpr(1),
+			Guarded: true,
+		}
+	case r < fe.Switches+fe.Loops+fe.Ifs+fe.Arrays+fe.Globals:
+		return StoreGlobal{Name: "g0", Src: g.valueExpr(1)}
+	case r < fe.Switches+fe.Loops+fe.Ifs+fe.Arrays+fe.Globals+fe.ExternCalls && len(fe.Externs) > 0:
+		name := fe.Externs[g.rng.Intn(len(fe.Externs))]
+		return ExprStmt{X: Call{Name: name, Args: []Expr{g.leafExpr()}, Extern: true}}
+	case r < fe.Switches+fe.Loops+fe.Ifs+fe.Arrays+fe.Globals+fe.ExternCalls+fe.InternCalls && len(g.others) > 0:
+		callee := g.others[g.rng.Intn(len(g.others))]
+		return Assign{Dst: Local(g.rng.Intn(nScalars)),
+			Src: Call{Name: callee, Args: []Expr{g.leafExpr()}}}
+	default:
+		return g.assign(nScalars)
+	}
+}
+
+func (g *generator) assign(nScalars int) Stmt {
+	if nScalars < 1 {
+		nScalars = 1
+	}
+	return Assign{Dst: Local(g.rng.Intn(nScalars)), Src: g.valueExpr(2)}
+}
+
+// GenProgram generates a program of n functions. Later functions may call
+// earlier ones (no recursion), keeping the call graph a DAG as in the
+// paper's context-free exploration.
+func GenProgram(rng *rand.Rand, n int, fe Features) *Program {
+	p := &Program{
+		Globals: []Global{{Name: "g0", Size: 8}},
+	}
+	var names []string
+	for i := 0; i < n; i++ {
+		name := "f" + itoa(i)
+		f := GenFunc(rng, name, names, fe)
+		p.Funcs = append(p.Funcs, f)
+		names = append(names, name)
+	}
+	// The entry calls the last (deepest) function.
+	p.Entry = names[len(names)-1]
+	return p
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,228 @@
+// Package corpus builds the evaluation corpus: hand-assembled scenario
+// binaries reproducing Section 2's weird-edge example and Section 5.3's
+// failure cases, plus generated program suites shaped after the paper's
+// Xen (Table 1) and CoreUtils (Table 2) case studies. The binaries are
+// real ELF64 executables built from scratch; the lifter consumes their raw
+// bytes exactly as it would consume GCC output.
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/elf64"
+	"repro/internal/image"
+	"repro/internal/x86"
+)
+
+// Scenario is one named case-study binary.
+type Scenario struct {
+	Name  string
+	Image *image.Image
+	// Raw is the ELF image bytes.
+	Raw []byte
+	// FuncAddr is the address to lift (the scenario's function).
+	FuncAddr uint64
+	// Describe summarises what the paper expects for this scenario.
+	Describe string
+}
+
+const (
+	scenText   = 0x401000
+	scenPLT    = 0x400800
+	scenRodata = 0x4a0000
+)
+
+// build assembles a scenario with optional PLT externals and rodata.
+func build(name string, externs []string, rodata []byte, emit func(a *x86.Asm, stub func(string) uint64)) (*Scenario, error) {
+	stubAddr := func(n string) uint64 {
+		for i, e := range externs {
+			if e == n {
+				return scenPLT + uint64(16*i)
+			}
+		}
+		panic("corpus: unknown extern " + n)
+	}
+	a := x86.NewAsm(scenText)
+	emit(a, stubAddr)
+	code, err := a.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("corpus %s: %w", name, err)
+	}
+	eb := elf64.NewExec(scenText)
+	eb.AddSection(".text", elf64.SHFExecinstr, scenText, code)
+	if len(externs) > 0 {
+		plt := x86.NewAsm(scenPLT)
+		for i := range externs {
+			start := plt.PC()
+			plt.I(x86.JMP, x86.MemOp(x86.RIP, x86.RegNone, 1, 0x100000, 8))
+			for plt.PC() < start+16 {
+				plt.I(x86.NOP)
+			}
+			_ = i
+		}
+		pltCode, err := plt.Finish()
+		if err != nil {
+			return nil, err
+		}
+		eb.AddSection(".plt", elf64.SHFExecinstr, scenPLT, pltCode)
+		for i, n := range externs {
+			eb.AddFunc(n+"@plt", scenPLT+uint64(16*i), 16)
+		}
+	}
+	if rodata != nil {
+		eb.AddSection(".rodata", 0, scenRodata, rodata)
+	}
+	img, err := eb.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	im, err := image.Load(img)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{Name: name, Image: im, Raw: img, FuncAddr: scenText}, nil
+}
+
+// WeirdEdge reproduces the Section 2 example as a 64-bit binary: a jump
+// table dispatch whose first instruction hides a ret (byte 0xc3) inside
+// its immediate, and two stores through possibly-aliasing pointers before
+// an indirect jump. In the aliasing memory model the jump reads the second
+// store's value and control lands in the middle of the first instruction —
+// the hidden ROP gadget, a "weird" edge. (The paper's 32-bit example sits
+// at address 0 and stores the constant 1; at our 64-bit load address the
+// stored constant is entry+1, the same gadget address.)
+//
+// Layout (addresses relative to the function entry at 0x401000):
+//
+//	+0  cmp eax, 0xc3          ; byte at +1 is 0xc3 = ret
+//	+5  ja  end
+//	+b  mov rax, [rax*8 + tbl] ; bounded table read, one edge per value
+//	+13 mov [rdi], rax
+//	+16 mov qword [rsi], entry+1
+//	+1d jmp [rdi]
+//	pads p0..p3: mov eax, k; ret
+//	end: ret
+//
+// The table holds 0xc4 entries cycling over the four landing pads.
+func WeirdEdge() (*Scenario, error) {
+	const entries = 0xc4
+	table := make([]byte, 8*entries)
+	s, err := build("weird-edge", nil, table, func(a *x86.Asm, _ func(string) uint64) {
+		a.I(x86.CMP, x86.RegOp(x86.RAX, 4), x86.ImmOp(0xc3, 4)) // 3d c3 00 00 00
+		a.Jcc(x86.CondA, "end")
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 4), x86.RegOp(x86.RAX, 4)) // zero-extend the index
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.MemOp(x86.RegNone, x86.RAX, 8, scenRodata, 8))
+		a.I(x86.MOV, x86.MemOp(x86.RDI, x86.RegNone, 1, 0, 8), x86.RegOp(x86.RAX, 8))
+		a.I(x86.MOV, x86.MemOp(x86.RSI, x86.RegNone, 1, 0, 8), x86.ImmOp(int64(scenText+1), 4))
+		a.I(x86.JMP, x86.MemOp(x86.RDI, x86.RegNone, 1, 0, 8))
+		for i := 0; i < 4; i++ {
+			a.Label(fmt.Sprintf("pad%d", i))
+			a.I(x86.MOV, x86.RegOp(x86.RAX, 4), x86.ImmOp(int64(10*i), 4))
+			a.I(x86.RET)
+		}
+		a.Label("end")
+		a.I(x86.RET)
+		// Patch the table now that the pads are placed.
+		for i := 0; i < entries; i++ {
+			addr, _ := a.LabelAddr(fmt.Sprintf("pad%d", i%4))
+			for j := 0; j < 8; j++ {
+				table[8*i+j] = byte(addr >> (8 * j))
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Describe = "Section 2: aliasing fork, bounded jump table, hidden ret gadget at entry+1"
+	return s, nil
+}
+
+// Ret2Win reproduces the ROP Emporium ret2win shape of Section 5.3: a call
+// to the unknown external memset with a pointer into the caller's stack
+// frame. Lifting succeeds but generates the proof obligation that memset
+// must preserve the region around the stored return address.
+func Ret2Win() (*Scenario, error) {
+	s, err := build("ret2win", []string{"memset"}, nil, func(a *x86.Asm, stub func(string) uint64) {
+		a.I(x86.SUB, x86.RegOp(x86.RSP, 8), x86.ImmOp(0x28, 1))
+		a.I(x86.LEA, x86.RegOp(x86.RDI, 8), x86.MemOp(x86.RSP, x86.RegNone, 1, 0, 8))
+		a.I(x86.XOR, x86.RegOp(x86.RSI, 4), x86.RegOp(x86.RSI, 4))
+		a.I(x86.MOV, x86.RegOp(x86.RDX, 4), x86.ImmOp(48, 4))
+		a.CallAbs(stub("memset"))
+		a.I(x86.ADD, x86.RegOp(x86.RSP, 8), x86.ImmOp(0x28, 1))
+		a.I(x86.RET)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Describe = "Section 5.3: memset(rdi := rsp0 - 0x28) obliged to preserve the return address region"
+	return s, nil
+}
+
+// StackProbe reproduces the /usr/bin/zip stack-probing failure of Section
+// 5.3: rax is set, an internal probe function is called (clobbering rax in
+// the overapproximation), then rsp is adjusted by rax and the probed area
+// written. The relation between the write and the stored return address
+// cannot be established; the function is rejected.
+func StackProbe() (*Scenario, error) {
+	s, err := build("stack-probe", nil, nil, func(a *x86.Asm, _ func(string) uint64) {
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 4), x86.ImmOp(0x1400, 4))
+		a.Call("probe")
+		a.I(x86.SUB, x86.RegOp(x86.RSP, 8), x86.RegOp(x86.RAX, 8))
+		a.I(x86.MOV, x86.MemOp(x86.RSP, x86.RegNone, 1, 0, 8), x86.ImmOp(0, 4))
+		a.I(x86.ADD, x86.RegOp(x86.RSP, 8), x86.RegOp(x86.RAX, 8))
+		a.I(x86.RET)
+		a.Label("probe")
+		a.I(x86.RET)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Describe = "Section 5.3: stack probing — rax unknown after call, rsp-relative write unprovable"
+	return s, nil
+}
+
+// NonStdRSP reproduces the /usr/bin/ssh failure of Section 5.3: the stack
+// pointer is restored from a memory location instead of arithmetic over
+// rsp0, so no memory relations over the frame can be proven.
+func NonStdRSP() (*Scenario, error) {
+	s, err := build("nonstd-rsp", nil, nil, func(a *x86.Asm, _ func(string) uint64) {
+		a.I(x86.MOV, x86.RegOp(x86.RSP, 8), x86.MemOp(x86.RDI, x86.RegNone, 1, 0, 8))
+		a.I(x86.ADD, x86.RegOp(x86.RSP, 8), x86.ImmOp(56, 1))
+		a.I(x86.RET)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Describe = "Section 5.3: non-standard stack pointer restoration rejected"
+	return s, nil
+}
+
+// Overflow reproduces the manually induced buffer overflow of Section 5.1:
+// a store at an attacker-controlled offset from the frame. No HG is
+// extracted (return address integrity unprovable).
+func Overflow() (*Scenario, error) {
+	s, err := build("overflow", nil, nil, func(a *x86.Asm, _ func(string) uint64) {
+		a.I(x86.SUB, x86.RegOp(x86.RSP, 8), x86.ImmOp(0x40, 1))
+		a.I(x86.MOV, x86.MemOp(x86.RSP, x86.RDI, 1, 0, 1), x86.RegOp(x86.RSI, 1))
+		a.I(x86.ADD, x86.RegOp(x86.RSP, 8), x86.ImmOp(0x40, 1))
+		a.I(x86.RET)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Describe = "Section 5.1: induced buffer overflow — no HG is extracted"
+	return s, nil
+}
+
+// AllScenarios returns every named scenario.
+func AllScenarios() ([]*Scenario, error) {
+	var out []*Scenario
+	for _, f := range []func() (*Scenario, error){WeirdEdge, Ret2Win, StackProbe, NonStdRSP, Overflow} {
+		s, err := f()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

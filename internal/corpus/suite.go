@@ -1,0 +1,256 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cgen"
+	"repro/internal/core"
+	"repro/internal/image"
+)
+
+// UnitKind distinguishes Table 1's upper part (whole binaries, lifted from
+// the entry point) from its lower part (externally exposed functions of
+// shared objects, lifted individually).
+type UnitKind uint8
+
+// The unit kinds.
+const (
+	KindBinary UnitKind = iota
+	KindLibFunc
+)
+
+// Unit is one item to lift: a compiled ELF image plus the expected
+// outcome.
+type Unit struct {
+	Name     string
+	Kind     UnitKind
+	Image    *image.Image
+	FuncAddr uint64 // entry of the function to lift (KindLibFunc)
+	Expect   core.Status
+	// Budget overrides the lifter's MaxStates for this unit (0 = default).
+	// Timeout units are the functions too large for the exploration
+	// budget — the analogue of the paper's 4-hour wall-clock limit.
+	Budget int
+}
+
+// Directory is one row of Table 1.
+type Directory struct {
+	Name  string
+	Kind  UnitKind
+	Units []*Unit
+}
+
+// DirShape describes how to generate one directory: the per-outcome unit
+// counts of Table 1 plus the feature mix driving the annotation columns.
+type DirShape struct {
+	Name       string
+	Kind       UnitKind
+	Lifted     int
+	Unprovable int // column x: unprovable return address
+	Concurrent int // column y: multithreading, out of scope
+	Timeout    int // column z
+	// CallbackFrac is the fraction of lifted units containing a call
+	// through a function-pointer parameter (column C).
+	CallbackFrac float64
+	// CompJumpFrac is the fraction of lifted units containing a computed
+	// jump through writable data (column B).
+	CompJumpFrac float64
+	// FuncsPerUnit spreads unit sizes (Figure 3's x axis).
+	MinStmts, MaxStmts int
+	// Helpers is the number of sibling functions per unit.
+	Helpers int
+}
+
+// XenSuite returns the directory shapes of Table 1, with unit counts
+// multiplied by scale (1.0 reproduces the paper's 63 binaries and 2151
+// library functions).
+func XenSuite(scale float64) []DirShape {
+	n := func(c int) int {
+		if c == 0 {
+			return 0
+		}
+		return int(math.Max(1, math.Round(float64(c)*scale)))
+	}
+	return []DirShape{
+		{Name: "bin", Kind: KindBinary, Lifted: n(12), Unprovable: n(2), Concurrent: n(1),
+			CallbackFrac: 0.0, MinStmts: 4, MaxStmts: 14, Helpers: 3},
+		{Name: "xen/bin", Kind: KindBinary, Lifted: n(7), Unprovable: n(1), Concurrent: n(8), Timeout: n(1),
+			CallbackFrac: 0.3, MinStmts: 4, MaxStmts: 10, Helpers: 2},
+		{Name: "libexec", Kind: KindBinary, Lifted: n(1),
+			MinStmts: 4, MaxStmts: 6, Helpers: 1},
+		{Name: "sbin", Kind: KindBinary, Lifted: n(25), Unprovable: n(1), Concurrent: n(4),
+			CallbackFrac: 0.25, MinStmts: 4, MaxStmts: 12, Helpers: 3},
+		{Name: "lib", Kind: KindLibFunc, Lifted: n(1874), Unprovable: n(29), Timeout: n(4),
+			CallbackFrac: 0.32, CompJumpFrac: 0.13, MinStmts: 2, MaxStmts: 30, Helpers: 2},
+		{Name: "xenfsimage", Kind: KindLibFunc, Lifted: n(106), Unprovable: n(3),
+			CallbackFrac: 0.25, MinStmts: 3, MaxStmts: 16, Helpers: 2},
+		{Name: "dist-packages", Kind: KindLibFunc, Lifted: n(16),
+			CallbackFrac: 0.19, MinStmts: 2, MaxStmts: 8, Helpers: 1},
+		{Name: "lowlevel", Kind: KindLibFunc, Lifted: n(119),
+			CallbackFrac: 0.75, MinStmts: 2, MaxStmts: 10, Helpers: 1},
+	}
+}
+
+// BuildDirectory generates and compiles every unit of a directory,
+// deterministically from the seed.
+func BuildDirectory(shape DirShape, seed int64) (*Directory, error) {
+	dir := &Directory{Name: shape.Name, Kind: shape.Kind}
+	rng := rand.New(rand.NewSource(seed))
+	idx := 0
+	add := func(expect core.Status, count int, configure func(fe *cgen.Features)) error {
+		for i := 0; i < count; i++ {
+			fe := cgen.DefaultFeatures()
+			fe.StmtsPerFunc = shape.MinStmts + rng.Intn(shape.MaxStmts-shape.MinStmts+1)
+			if configure != nil {
+				configure(&fe)
+			}
+			u, err := buildUnit(shape, fmt.Sprintf("%s_%03d", sanitizeName(shape.Name), idx), rng, fe, expect)
+			if err != nil {
+				return err
+			}
+			dir.Units = append(dir.Units, u)
+			idx++
+		}
+		return nil
+	}
+
+	nCallback := int(math.Round(shape.CallbackFrac * float64(shape.Lifted)))
+	nCompJump := int(math.Round(shape.CompJumpFrac * float64(shape.Lifted)))
+	if err := add(core.StatusLifted, nCallback, func(fe *cgen.Features) { fe.Callback = true }); err != nil {
+		return nil, err
+	}
+	if err := add(core.StatusLifted, nCompJump, func(fe *cgen.Features) { fe.CompJump = true }); err != nil {
+		return nil, err
+	}
+	if err := add(core.StatusLifted, shape.Lifted-nCallback-nCompJump, nil); err != nil {
+		return nil, err
+	}
+	if err := add(core.StatusUnprovableRet, shape.Unprovable, func(fe *cgen.Features) { fe.Overflow = true }); err != nil {
+		return nil, err
+	}
+	if err := add(core.StatusConcurrency, shape.Concurrent, func(fe *cgen.Features) { fe.Pthread = true }); err != nil {
+		return nil, err
+	}
+	if err := add(core.StatusTimeout, shape.Timeout, func(fe *cgen.Features) {
+		fe.StmtsPerFunc = 40
+		fe.MaxDepth = 3
+	}); err != nil {
+		return nil, err
+	}
+	return dir, nil
+}
+
+// buildUnit generates one program and compiles it.
+func buildUnit(shape DirShape, name string, rng *rand.Rand, fe cgen.Features, expect core.Status) (*Unit, error) {
+	nFuncs := 1 + shape.Helpers
+	p := &cgen.Program{Globals: []cgen.Global{{Name: "g0", Size: 8}, {Name: "g1", Size: 8}}}
+	var names []string
+	for i := 0; i < nFuncs; i++ {
+		feI := fe
+		if i < nFuncs-1 {
+			// Helpers are benign: the outcome-driving feature lives in
+			// the unit's main function.
+			feI.Callback = false
+			feI.Pthread = false
+			feI.Overflow = false
+			feI.CompJump = false
+			feI.StmtsPerFunc = 2 + rng.Intn(4)
+		}
+		fn := cgen.GenFunc(rng, fmt.Sprintf("fn%d", i), names, feI)
+		p.Funcs = append(p.Funcs, fn)
+		names = append(names, fn.Name)
+	}
+	p.Entry = names[len(names)-1]
+	res, err := cgen.Compile(p)
+	if err != nil {
+		return nil, fmt.Errorf("corpus unit %s: %w", name, err)
+	}
+	u := &Unit{
+		Name:   name,
+		Kind:   shape.Kind,
+		Image:  res.Image,
+		Expect: expect,
+	}
+	if shape.Kind == KindLibFunc {
+		u.FuncAddr = res.Funcs[p.Entry]
+	} else {
+		u.FuncAddr = res.Image.Entry()
+	}
+	if expect == core.StatusTimeout {
+		u.Budget = 120
+	}
+	return u, nil
+}
+
+func sanitizeName(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if c == '/' || c == '-' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// CoreUtilsSuite returns the six Table 2 binaries: CoreUtils-shaped
+// programs whose relative sizes follow the paper's instruction counts
+// (hexdump 2515, od 3040, wc 445, tar 5730, du 883, gzip 3465) and whose
+// switch density follows the indirection counts (11, 11, 0, 5, 3, 7).
+func CoreUtilsSuite(scale float64) ([]*Unit, error) {
+	specs := []struct {
+		name     string
+		funcs    int
+		switches int
+	}{
+		{"hexdump", 18, 11},
+		{"od", 22, 11},
+		{"wc", 4, 0},
+		{"tar", 40, 5},
+		{"du", 7, 3},
+		{"gzip", 25, 7},
+	}
+	var out []*Unit
+	for i, sp := range specs {
+		n := int(math.Max(1, math.Round(float64(sp.funcs)*scale)))
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		fe := cgen.DefaultFeatures()
+		fe.StmtsPerFunc = 10
+		if sp.switches > 0 {
+			fe.Switches = 250
+		} else {
+			fe.Switches = 0
+		}
+		p := &cgen.Program{Globals: []cgen.Global{{Name: "g0", Size: 8}}}
+		var names []string
+		for j := 0; j < n; j++ {
+			fn := cgen.GenFunc(rng, fmt.Sprintf("u%d", j), names, fe)
+			p.Funcs = append(p.Funcs, fn)
+			names = append(names, fn.Name)
+		}
+		// A driver calls every function so the entry-point exploration
+		// covers the whole binary, as the paper's CoreUtils lifts do.
+		driver := &cgen.Func{Name: "main", Params: 1}
+		for _, name := range names {
+			driver.Body = append(driver.Body, cgen.ExprStmt{
+				X: cgen.Call{Name: name, Args: []cgen.Expr{cgen.Param(0)}},
+			})
+		}
+		driver.Body = append(driver.Body, cgen.Return{X: cgen.Const(0)})
+		p.Funcs = append(p.Funcs, driver)
+		p.Entry = "main"
+		res, err := cgen.Compile(p)
+		if err != nil {
+			return nil, fmt.Errorf("coreutils %s: %w", sp.name, err)
+		}
+		out = append(out, &Unit{
+			Name:     sp.name,
+			Kind:     KindBinary,
+			Image:    res.Image,
+			FuncAddr: res.Image.Entry(),
+			Expect:   core.StatusLifted,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,242 @@
+package elf64
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildSample writes a small executable with .text/.rodata/.data and two
+// function symbols, then parses it back.
+func buildSample(t *testing.T) *File {
+	t.Helper()
+	b := NewExec(0x401000)
+	text := []byte{0x55, 0x48, 0x89, 0xe5, 0x5d, 0xc3, 0x90, 0x90}
+	rodata := []byte{0x10, 0x10, 0x40, 0, 0, 0, 0, 0}
+	data := []byte{1, 2, 3, 4}
+	b.AddSection(".text", SHFExecinstr, 0x401000, text)
+	b.AddSection(".rodata", 0, 0x4a0000, rodata)
+	b.AddSection(".data", SHFWrite, 0x4b0000, data)
+	b.AddFunc("main", 0x401000, 6)
+	b.AddFunc("helper", 0x401006, 2)
+	b.AddObject("table", 0x4a0000, 8)
+	img, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := buildSample(t)
+	if f.Header.Entry != 0x401000 {
+		t.Fatalf("entry %#x", f.Header.Entry)
+	}
+	if f.Header.Type != ETExec {
+		t.Fatalf("type %d", f.Header.Type)
+	}
+	text := f.Section(".text")
+	if text == nil || text.Addr != 0x401000 || len(text.Data) != 8 {
+		t.Fatalf("text: %+v", text)
+	}
+	if text.Flags&SHFExecinstr == 0 {
+		t.Fatal("text must be executable")
+	}
+	if data := f.Section(".data"); data == nil || data.Flags&SHFWrite == 0 {
+		t.Fatal("data must be writable")
+	}
+	if f.Section(".nope") != nil {
+		t.Fatal("missing section must be nil")
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	f := buildSample(t)
+	funcs := f.FuncSymbols()
+	if len(funcs) != 2 {
+		t.Fatalf("func symbols: %+v", funcs)
+	}
+	byName := map[string]Symbol{}
+	for _, s := range funcs {
+		byName[s.Name] = s
+	}
+	if byName["main"].Value != 0x401000 || byName["main"].Size != 6 {
+		t.Fatalf("main: %+v", byName["main"])
+	}
+	if s, ok := f.SymbolAt(0x401006); !ok || s.Name != "helper" {
+		t.Fatalf("symbol at: %+v %v", s, ok)
+	}
+	if _, ok := f.SymbolAt(0xdead); ok {
+		t.Fatal("bogus address must have no symbol")
+	}
+	// The object symbol is not a function symbol.
+	for _, s := range funcs {
+		if s.Name == "table" {
+			t.Fatal("object symbol leaked into FuncSymbols")
+		}
+	}
+}
+
+func TestSectionAtAndReadAt(t *testing.T) {
+	f := buildSample(t)
+	if s := f.SectionAt(0x401003); s == nil || s.Name != ".text" {
+		t.Fatalf("section at text addr: %v", s)
+	}
+	if s := f.SectionAt(0x500000); s != nil {
+		t.Fatalf("unmapped addr: %v", s)
+	}
+	b, ok := f.ReadAt(0x4a0000, 8)
+	if !ok || le.Uint64(b) != 0x401010 {
+		t.Fatalf("rodata read: % x %v", b, ok)
+	}
+	if _, ok := f.ReadAt(0x4a0006, 8); ok {
+		t.Fatal("cross-boundary read must fail")
+	}
+	if _, ok := f.ReadAt(0x999999, 1); ok {
+		t.Fatal("unmapped read must fail")
+	}
+}
+
+func TestProgHeaders(t *testing.T) {
+	f := buildSample(t)
+	if len(f.Progs) != 3 {
+		t.Fatalf("want 3 PT_LOAD, got %d", len(f.Progs))
+	}
+	for _, p := range f.Progs {
+		if p.Type != PTLoad {
+			t.Fatalf("segment type %d", p.Type)
+		}
+		// File offset congruent to vaddr modulo page size (mmap-ability).
+		if p.Off%pageSize != p.VAddr%pageSize {
+			t.Fatalf("segment misaligned: off=%#x vaddr=%#x", p.Off, p.VAddr)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(nil); err == nil {
+		t.Fatal("empty image must fail")
+	}
+	if _, err := Parse(make([]byte, 100)); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	img := make([]byte, 100)
+	copy(img, []byte{0x7f, 'E', 'L', 'F', 1 /* 32-bit */, 1, 1})
+	if _, err := Parse(img); err == nil {
+		t.Fatal("ELFCLASS32 must fail")
+	}
+	copy(img, []byte{0x7f, 'E', 'L', 'F', ELFCLASS64, 2 /* big endian */, 1})
+	if _, err := Parse(img); err == nil {
+		t.Fatal("big-endian must fail")
+	}
+	// Valid prefix but wrong machine.
+	copy(img, []byte{0x7f, 'E', 'L', 'F', ELFCLASS64, ELFDATA2LSB, 1})
+	le.PutUint16(img[18:], 0x28) // ARM
+	if _, err := Parse(img); err == nil {
+		t.Fatal("ARM machine must fail")
+	}
+	var pe *ParseError
+	_, err := Parse(nil)
+	if e, ok := err.(*ParseError); ok {
+		pe = e
+	}
+	if pe == nil || pe.Error() == "" {
+		t.Fatal("error type")
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	b := NewExec(0x1000)
+	b.AddSection(".a", 0, 0x1000, make([]byte, 0x100))
+	b.AddSection(".b", 0, 0x1080, make([]byte, 0x100))
+	if _, err := b.Bytes(); err == nil {
+		t.Fatal("overlapping sections must be rejected")
+	}
+}
+
+func TestSharedObject(t *testing.T) {
+	b := NewShared()
+	b.AddSection(".text", SHFExecinstr, 0x1000, bytes.Repeat([]byte{0x90}, 16))
+	b.AddFunc("exported_fn", 0x1000, 16)
+	img, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Header.Type != ETDyn {
+		t.Fatalf("type %d", f.Header.Type)
+	}
+	if n := len(f.FuncSymbols()); n != 1 {
+		t.Fatalf("exported functions: %d", n)
+	}
+}
+
+// TestQuickWriterReaderRoundTrip fuzzes section layouts through the writer
+// and reader.
+func TestQuickWriterReaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 60; trial++ {
+		b := NewExec(0x401000)
+		type secSpec struct {
+			name string
+			addr uint64
+			data []byte
+		}
+		var specs []secSpec
+		addr := uint64(0x401000)
+		nSecs := 1 + rng.Intn(4)
+		for i := 0; i < nSecs; i++ {
+			n := 1 + rng.Intn(300)
+			data := make([]byte, n)
+			rng.Read(data)
+			name := fmt.Sprintf(".s%d", i)
+			flags := uint64(0)
+			if i == 0 {
+				flags = SHFExecinstr
+			}
+			if rng.Intn(2) == 0 {
+				flags |= SHFWrite
+			}
+			b.AddSection(name, flags, addr, data)
+			specs = append(specs, secSpec{name, addr, data})
+			addr += uint64(n) + uint64(rng.Intn(0x2000))
+		}
+		nSyms := rng.Intn(5)
+		for i := 0; i < nSyms; i++ {
+			b.AddFunc(fmt.Sprintf("fn%d", i), specs[0].addr+uint64(i), 1)
+		}
+		img, err := b.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Parse(img)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, sp := range specs {
+			s := f.Section(sp.name)
+			if s == nil {
+				t.Fatalf("trial %d: section %s lost", trial, sp.name)
+			}
+			if s.Addr != sp.addr || len(s.Data) != len(sp.data) {
+				t.Fatalf("trial %d: section %s shape", trial, sp.name)
+			}
+			for j := range sp.data {
+				if s.Data[j] != sp.data[j] {
+					t.Fatalf("trial %d: section %s data at %d", trial, sp.name, j)
+				}
+			}
+		}
+		if got := len(f.FuncSymbols()); got != nSyms {
+			t.Fatalf("trial %d: symbols %d != %d", trial, got, nSyms)
+		}
+	}
+}

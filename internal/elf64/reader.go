@@ -1,0 +1,145 @@
+package elf64
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ParseError reports a malformed ELF image.
+type ParseError struct{ Reason string }
+
+func (e *ParseError) Error() string { return "elf64: " + e.Reason }
+
+func parseErr(format string, args ...any) error {
+	return &ParseError{Reason: fmt.Sprintf(format, args...)}
+}
+
+var le = binary.LittleEndian
+
+// Parse reads an ELF64 little-endian x86-64 image from memory.
+func Parse(b []byte) (*File, error) {
+	if len(b) < 64 {
+		return nil, parseErr("image too small (%d bytes)", len(b))
+	}
+	if b[0] != 0x7f || b[1] != 'E' || b[2] != 'L' || b[3] != 'F' {
+		return nil, parseErr("bad magic % x", b[:4])
+	}
+	if b[4] != ELFCLASS64 {
+		return nil, parseErr("not ELFCLASS64")
+	}
+	if b[5] != ELFDATA2LSB {
+		return nil, parseErr("not little-endian")
+	}
+	f := &File{}
+	h := &f.Header
+	h.Type = le.Uint16(b[16:])
+	h.Machine = le.Uint16(b[18:])
+	if h.Machine != EMX8664 {
+		return nil, parseErr("not x86-64 (machine %#x)", h.Machine)
+	}
+	h.Entry = le.Uint64(b[24:])
+	h.PhOff = le.Uint64(b[32:])
+	h.ShOff = le.Uint64(b[40:])
+	h.Flags = le.Uint32(b[48:])
+	h.EhSize = le.Uint16(b[52:])
+	h.PhEntSize = le.Uint16(b[54:])
+	h.PhNum = le.Uint16(b[56:])
+	h.ShEntSize = le.Uint16(b[58:])
+	h.ShNum = le.Uint16(b[60:])
+	h.ShStrNdx = le.Uint16(b[62:])
+
+	// Program headers.
+	for i := 0; i < int(h.PhNum); i++ {
+		off := h.PhOff + uint64(i)*uint64(h.PhEntSize)
+		if off+56 > uint64(len(b)) {
+			return nil, parseErr("program header %d out of range", i)
+		}
+		p := b[off:]
+		f.Progs = append(f.Progs, Prog{
+			Type:   le.Uint32(p),
+			Flags:  le.Uint32(p[4:]),
+			Off:    le.Uint64(p[8:]),
+			VAddr:  le.Uint64(p[16:]),
+			PAddr:  le.Uint64(p[24:]),
+			FileSz: le.Uint64(p[32:]),
+			MemSz:  le.Uint64(p[40:]),
+			Align:  le.Uint64(p[48:]),
+		})
+	}
+
+	// Section headers (names resolved after reading shstrtab).
+	type rawShdr struct {
+		nameOff uint32
+		sec     Section
+	}
+	var raw []rawShdr
+	for i := 0; i < int(h.ShNum); i++ {
+		off := h.ShOff + uint64(i)*uint64(h.ShEntSize)
+		if off+64 > uint64(len(b)) {
+			return nil, parseErr("section header %d out of range", i)
+		}
+		s := b[off:]
+		sec := Section{
+			Type:      le.Uint32(s[4:]),
+			Flags:     le.Uint64(s[8:]),
+			Addr:      le.Uint64(s[16:]),
+			Off:       le.Uint64(s[24:]),
+			Size:      le.Uint64(s[32:]),
+			Link:      le.Uint32(s[40:]),
+			Info:      le.Uint32(s[44:]),
+			AddrAlign: le.Uint64(s[48:]),
+			EntSize:   le.Uint64(s[56:]),
+		}
+		if sec.Type != SHTNobits && sec.Type != SHTNull && sec.Size > 0 {
+			if sec.Off+sec.Size > uint64(len(b)) {
+				return nil, parseErr("section %d data out of range", i)
+			}
+			sec.Data = append([]byte(nil), b[sec.Off:sec.Off+sec.Size]...)
+		}
+		raw = append(raw, rawShdr{nameOff: le.Uint32(s), sec: sec})
+	}
+
+	// Resolve section names.
+	var shstr []byte
+	if int(h.ShStrNdx) < len(raw) {
+		shstr = raw[h.ShStrNdx].sec.Data
+	}
+	for _, r := range raw {
+		r.sec.Name = cstr(shstr, r.nameOff)
+		f.Sections = append(f.Sections, r.sec)
+	}
+
+	// Symbols.
+	symtab := f.Section(".symtab")
+	if symtab != nil {
+		var strtab []byte
+		if int(symtab.Link) < len(f.Sections) {
+			strtab = f.Sections[symtab.Link].Data
+		}
+		n := len(symtab.Data) / 24
+		for i := 0; i < n; i++ {
+			s := symtab.Data[i*24:]
+			f.Symbols = append(f.Symbols, Symbol{
+				Name:  cstr(strtab, le.Uint32(s)),
+				Info:  s[4],
+				Other: s[5],
+				Shndx: le.Uint16(s[6:]),
+				Value: le.Uint64(s[8:]),
+				Size:  le.Uint64(s[16:]),
+			})
+		}
+	}
+	return f, nil
+}
+
+// cstr reads a NUL-terminated string at the given offset of a string table.
+func cstr(tab []byte, off uint32) string {
+	if int(off) >= len(tab) {
+		return ""
+	}
+	end := int(off)
+	for end < len(tab) && tab[end] != 0 {
+		end++
+	}
+	return string(tab[off:end])
+}

@@ -1,0 +1,309 @@
+package emu
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/elf64"
+	"repro/internal/expr"
+	"repro/internal/image"
+	"repro/internal/sem"
+	"repro/internal/x86"
+)
+
+const textBase = 0x401000
+
+func buildImage(t *testing.T, build func(a *x86.Asm)) *image.Image {
+	t.Helper()
+	a := x86.NewAsm(textBase)
+	build(a)
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := elf64.NewExec(textBase)
+	b.AddSection(".text", elf64.SHFExecinstr, textBase, code)
+	img, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := image.Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestFactorialLoop(t *testing.T) {
+	// rax = rdi! computed with a cmp/jbe loop.
+	im := buildImage(t, func(a *x86.Asm) {
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.ImmOp(1, 4))
+		a.I(x86.MOV, x86.RegOp(x86.RCX, 8), x86.ImmOp(1, 4))
+		a.Label("loop")
+		a.I(x86.CMP, x86.RegOp(x86.RCX, 8), x86.RegOp(x86.RDI, 8))
+		a.Jcc(x86.CondA, "done")
+		a.I(x86.IMUL, x86.RegOp(x86.RAX, 8), x86.RegOp(x86.RCX, 8))
+		a.I(x86.ADD, x86.RegOp(x86.RCX, 8), x86.ImmOp(1, 1))
+		a.Jmp("loop")
+		a.Label("done")
+		a.I(x86.RET)
+	})
+	c := New(im)
+	c.Regs[x86.RDI] = 6
+	if _, err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted || c.Regs[x86.RAX] != 720 {
+		t.Fatalf("6! = %d (halted=%v)", c.Regs[x86.RAX], c.Halted)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	im := buildImage(t, func(a *x86.Asm) {
+		a.Call("double")
+		a.I(x86.ADD, x86.RegOp(x86.RAX, 8), x86.ImmOp(1, 1))
+		a.I(x86.RET)
+		a.Label("double")
+		a.I(x86.LEA, x86.RegOp(x86.RAX, 8), x86.MemOp(x86.RDI, x86.RDI, 1, 0, 8))
+		a.I(x86.RET)
+	})
+	c := New(im)
+	c.Regs[x86.RDI] = 21
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[x86.RAX] != 43 {
+		t.Fatalf("2*21+1 = %d", c.Regs[x86.RAX])
+	}
+}
+
+func TestStackArray(t *testing.T) {
+	// Sum a 4-element stack array through a counted loop.
+	im := buildImage(t, func(a *x86.Asm) {
+		a.I(x86.PUSH, x86.RegOp(x86.RBP, 8))
+		a.I(x86.MOV, x86.RegOp(x86.RBP, 8), x86.RegOp(x86.RSP, 8))
+		a.I(x86.SUB, x86.RegOp(x86.RSP, 8), x86.ImmOp(0x20, 4))
+		for i := 0; i < 4; i++ {
+			a.I(x86.MOV, x86.MemOp(x86.RBP, x86.RegNone, 1, int64(-32+8*i), 8), x86.ImmOp(int64(10+i), 4))
+		}
+		a.I(x86.XOR, x86.RegOp(x86.RAX, 4), x86.RegOp(x86.RAX, 4))
+		a.I(x86.XOR, x86.RegOp(x86.RCX, 4), x86.RegOp(x86.RCX, 4))
+		a.Label("loop")
+		a.I(x86.ADD, x86.RegOp(x86.RAX, 8), x86.MemOp(x86.RBP, x86.RCX, 8, -32, 8))
+		a.I(x86.ADD, x86.RegOp(x86.RCX, 8), x86.ImmOp(1, 1))
+		a.I(x86.CMP, x86.RegOp(x86.RCX, 8), x86.ImmOp(4, 1))
+		a.Jcc(x86.CondB, "loop")
+		a.I(x86.LEAVE)
+		a.I(x86.RET)
+	})
+	c := New(im)
+	if _, err := c.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[x86.RAX] != 10+11+12+13 {
+		t.Fatalf("sum = %d", c.Regs[x86.RAX])
+	}
+	if c.Regs[x86.RSP] != StackTop {
+		t.Fatalf("stack not balanced: %#x", c.Regs[x86.RSP])
+	}
+}
+
+func TestExternalCall(t *testing.T) {
+	// .plt stub at a fixed address; a call into it runs the handler.
+	a := x86.NewAsm(textBase)
+	a.CallAbs(0x400500)
+	a.I(x86.RET)
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plt := x86.NewAsm(0x400500)
+	plt.I(x86.JMP, x86.MemOp(x86.RIP, x86.RegNone, 1, 0x100, 8))
+	pltCode, _ := plt.Finish()
+	b := elf64.NewExec(textBase)
+	b.AddSection(".text", elf64.SHFExecinstr, textBase, code)
+	b.AddSection(".plt", elf64.SHFExecinstr, 0x400500, pltCode)
+	b.AddFunc("getval@plt", 0x400500, uint64(len(pltCode)))
+	img, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := image.Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(im)
+	c.Externals["getval"] = func(c *CPU) { c.Regs[x86.RAX] = 0x77 }
+	if _, err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[x86.RAX] != 0x77 {
+		t.Fatalf("external result: %#x", c.Regs[x86.RAX])
+	}
+	// Terminating externals halt the CPU.
+	c2 := New(im)
+	delete(c2.Externals, "getval")
+	c2.Reset(textBase)
+	c2.Externals = map[string]func(c *CPU){}
+	// rename the stub's behaviour by calling the default path
+	if _, err := c2.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Regs[x86.RAX] != 0 {
+		t.Fatalf("default external must zero rax: %#x", c2.Regs[x86.RAX])
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	im := buildImage(t, func(a *x86.Asm) {
+		a.I(x86.NOP)
+		a.Jmp("end")
+		a.I(x86.UD2)
+		a.Label("end")
+		a.I(x86.RET)
+	})
+	c := New(im)
+	trace, err := c.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) < 2 {
+		t.Fatalf("trace: %+v", trace)
+	}
+	if trace[0].From != textBase || trace[0].To != textBase+1 {
+		t.Fatalf("first transition: %+v", trace[0])
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	im := buildImage(t, func(a *x86.Asm) {
+		a.I(x86.XOR, x86.RegOp(x86.RCX, 4), x86.RegOp(x86.RCX, 4))
+		a.I(x86.XOR, x86.RegOp(x86.RDX, 4), x86.RegOp(x86.RDX, 4))
+		a.I(x86.DIV, x86.RegOp(x86.RCX, 8))
+		a.I(x86.RET)
+	})
+	c := New(im)
+	if _, err := c.Run(10); err == nil {
+		t.Fatal("divide by zero must fault")
+	}
+}
+
+// TestDifferentialSemVsEmu runs random straight-line ALU sequences both
+// concretely (emulator) and symbolically from a fully concrete initial
+// state: the symbolic semantics must fold to exactly the emulator's
+// values. This validates the hand-written τ the way the paper validates
+// machine-learned semantics against hardware.
+func TestDifferentialSemVsEmu(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	regs := []x86.Reg{x86.RAX, x86.RBX, x86.RCX, x86.RDX, x86.RSI, x86.RDI, x86.R8, x86.R9}
+	sizes := []int{1, 2, 4, 8}
+
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(10)
+		var instrs []func(a *x86.Asm)
+		for i := 0; i < n; i++ {
+			r1 := regs[rng.Intn(len(regs))]
+			r2 := regs[rng.Intn(len(regs))]
+			size := sizes[rng.Intn(len(sizes))]
+			imm8 := int64(int8(rng.Intn(256)))
+			switch rng.Intn(12) {
+			case 0:
+				instrs = append(instrs, func(a *x86.Asm) { a.I(x86.ADD, x86.RegOp(r1, size), x86.RegOp(r2, size)) })
+			case 1:
+				instrs = append(instrs, func(a *x86.Asm) { a.I(x86.SUB, x86.RegOp(r1, size), x86.RegOp(r2, size)) })
+			case 2:
+				instrs = append(instrs, func(a *x86.Asm) { a.I(x86.AND, x86.RegOp(r1, size), x86.RegOp(r2, size)) })
+			case 3:
+				instrs = append(instrs, func(a *x86.Asm) { a.I(x86.OR, x86.RegOp(r1, size), x86.RegOp(r2, size)) })
+			case 4:
+				instrs = append(instrs, func(a *x86.Asm) { a.I(x86.XOR, x86.RegOp(r1, size), x86.RegOp(r2, size)) })
+			case 5:
+				instrs = append(instrs, func(a *x86.Asm) { a.I(x86.MOV, x86.RegOp(r1, size), x86.RegOp(r2, size)) })
+			case 6:
+				instrs = append(instrs, func(a *x86.Asm) { a.I(x86.NOT, x86.RegOp(r1, size)) })
+			case 7:
+				instrs = append(instrs, func(a *x86.Asm) { a.I(x86.NEG, x86.RegOp(r1, size)) })
+			case 8:
+				sh := int64(rng.Intn(8))
+				instrs = append(instrs, func(a *x86.Asm) { a.I(x86.SHL, x86.RegOp(r1, size), x86.ImmOp(sh, 1)) })
+			case 9:
+				sh := int64(rng.Intn(8))
+				instrs = append(instrs, func(a *x86.Asm) { a.I(x86.SHR, x86.RegOp(r1, size), x86.ImmOp(sh, 1)) })
+			case 10:
+				if size > 1 {
+					instrs = append(instrs, func(a *x86.Asm) { a.I(x86.MOVZX, x86.RegOp(r1, size), x86.RegOp(r2, 1)) })
+				} else {
+					instrs = append(instrs, func(a *x86.Asm) { a.I(x86.INC, x86.RegOp(r1, size)) })
+				}
+			default:
+				instrs = append(instrs, func(a *x86.Asm) { a.I(x86.ADD, x86.RegOp(r1, size), x86.ImmOp(imm8, 1)) })
+			}
+		}
+		im := buildImage(t, func(a *x86.Asm) {
+			for _, f := range instrs {
+				f(a)
+			}
+			a.I(x86.RET)
+		})
+		var asmText []string
+		{
+			addr := uint64(textBase)
+			for {
+				in, err := im.Fetch(addr)
+				if err != nil {
+					break
+				}
+				asmText = append(asmText, in.String())
+				if in.Mn == x86.RET {
+					break
+				}
+				addr = in.Next()
+			}
+		}
+
+		// Concrete run.
+		c := New(im)
+		init := make([]uint64, len(regs))
+		for i, r := range regs {
+			init[i] = rng.Uint64()
+			c.Regs[r] = init[i]
+		}
+		if _, err := c.Run(n + 2); err != nil {
+			t.Fatal(err)
+		}
+
+		// Symbolic run from the same concrete state.
+		mach := sem.NewMachine(im, sem.DefaultConfig())
+		st := sem.NewState()
+		for i, r := range regs {
+			st.Pred.SetReg(r, expr.Word(init[i]))
+		}
+		addr := uint64(textBase)
+		for i := 0; i < n; i++ {
+			inst, err := im.Fetch(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs, err := mach.Step(st, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(outs) != 1 {
+				t.Fatalf("trial %d: %s forked %d ways on concrete state", trial, inst.String(), len(outs))
+			}
+			st = outs[0].State
+			addr, _ = outs[0].Resolved()
+		}
+		for i, r := range regs {
+			got := st.Pred.Reg(r)
+			w, ok := got.AsWord()
+			if !ok {
+				t.Fatalf("trial %d: %s not concrete after symbolic run: %v", trial, r, got)
+			}
+			if w != c.Regs[r] {
+				t.Fatalf("trial %d: %s symbolic %#x vs concrete %#x (init %#x)\n%s", trial, r, w, c.Regs[r], init[i], strings.Join(asmText, "\n"))
+			}
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package expr implements the symbolic expression language E of the paper
+// (Section 3.1):
+//
+//	E ≔ R | F | W | V | E × N | Op × [E]
+//
+// Expressions are immutable trees built through smart constructors that
+// perform light canonicalisation (constant folding, sum normalisation).
+// A distinguished subset of expressions, the constant expressions C, contain
+// no registers, flags or memory regions: they are built from machine words,
+// variables such as rdi0 (the initial value of register rdi) and operator
+// applications over those. Predicates map state parts to constant
+// expressions, so most expressions manipulated by the lifter are in C.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var is a symbolic variable V: an opaque 64-bit unknown. By convention the
+// lifter uses names like "rdi0" (initial register values), "v17" (fresh
+// unknowns introduced by overapproximation), "S_401000" (the symbolic return
+// address of the function at 0x401000) and "mem0_601000_8" (the initial
+// contents of a global region).
+type Var string
+
+// Kind discriminates the expression forms of E.
+type Kind uint8
+
+// The expression forms.
+const (
+	KindWord  Kind = iota // a 64-bit machine word W
+	KindVar               // a symbolic variable V
+	KindDeref             // a memory region read  *[addr, size]
+	KindOp                // an operator application Op × [E]
+)
+
+// Op enumerates the operators available in operator applications. All
+// arithmetic is 64-bit two's complement; narrower x86 operations are
+// expressed by composing an operator with a zero- or sign-extension.
+type Op uint8
+
+// The operator alphabet.
+const (
+	OpInvalid Op = iota
+	OpAdd        // n-ary sum
+	OpMul        // n-ary product
+	OpUDiv       // unsigned division
+	OpURem       // unsigned remainder
+	OpSDiv       // signed division
+	OpSRem       // signed remainder
+	OpAnd        // bitwise and
+	OpOr         // bitwise or
+	OpXor        // bitwise xor
+	OpShl        // logical shift left
+	OpShr        // logical shift right
+	OpSar        // arithmetic shift right
+	OpNot        // bitwise complement
+	OpNeg        // two's complement negation
+	OpSExt8      // sign extension of the low 8 bits
+	OpSExt16     // sign extension of the low 16 bits
+	OpSExt32     // sign extension of the low 32 bits
+	OpRol        // rotate left (64-bit)
+	OpRor        // rotate right (64-bit)
+)
+
+var opNames = map[Op]string{
+	OpAdd: "add", OpMul: "mul", OpUDiv: "udiv", OpURem: "urem",
+	OpSDiv: "sdiv", OpSRem: "srem", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpSar: "sar",
+	OpNot: "not", OpNeg: "neg", OpSExt8: "sext8", OpSExt16: "sext16",
+	OpSExt32: "sext32", OpRol: "rol", OpRor: "ror",
+}
+
+// String returns the lower-case mnemonic of the operator.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Expr is an immutable symbolic expression. Use the package-level
+// constructors; the zero value is not a valid expression.
+type Expr struct {
+	kind Kind
+	word uint64
+	v    Var
+	op   Op
+	size uint8 // KindDeref: region size in bytes
+	args []*Expr
+	key  string
+}
+
+// Word returns the expression denoting the 64-bit constant w.
+func Word(w uint64) *Expr {
+	return &Expr{kind: KindWord, word: w}
+}
+
+// V returns the expression denoting the symbolic variable name.
+func V(name Var) *Expr {
+	return &Expr{kind: KindVar, v: name}
+}
+
+// Deref returns the expression *[addr, size]: the value read from the
+// size-byte little-endian memory region starting at addr.
+func Deref(addr *Expr, size int) *Expr {
+	return &Expr{kind: KindDeref, size: uint8(size), args: []*Expr{addr}}
+}
+
+// Kind reports the form of the expression.
+func (e *Expr) Kind() Kind { return e.kind }
+
+// WordVal returns the constant word of a KindWord expression.
+func (e *Expr) WordVal() uint64 { return e.word }
+
+// VarName returns the variable of a KindVar expression.
+func (e *Expr) VarName() Var { return e.v }
+
+// OpKind returns the operator of a KindOp expression.
+func (e *Expr) OpKind() Op { return e.op }
+
+// Size returns the region size in bytes of a KindDeref expression.
+func (e *Expr) Size() int { return int(e.size) }
+
+// Args returns the operand list of a KindOp or KindDeref expression.
+// Callers must not mutate the returned slice.
+func (e *Expr) Args() []*Expr { return e.args }
+
+// IsWord reports whether e is the constant w.
+func (e *Expr) IsWord(w uint64) bool { return e.kind == KindWord && e.word == w }
+
+// AsWord returns the constant value of e and whether e is a constant.
+func (e *Expr) AsWord() (uint64, bool) {
+	if e.kind == KindWord {
+		return e.word, true
+	}
+	return 0, false
+}
+
+// Key returns a canonical string key for the expression, suitable for use as
+// a map key. Structurally equal expressions have equal keys.
+func (e *Expr) Key() string {
+	if e.key == "" {
+		var b strings.Builder
+		e.writeKey(&b)
+		e.key = b.String()
+	}
+	return e.key
+}
+
+func (e *Expr) writeKey(b *strings.Builder) {
+	switch e.kind {
+	case KindWord:
+		fmt.Fprintf(b, "0x%x", e.word)
+	case KindVar:
+		b.WriteString(string(e.v))
+	case KindDeref:
+		b.WriteString("*[")
+		e.args[0].writeKey(b)
+		fmt.Fprintf(b, ",%d]", e.size)
+	case KindOp:
+		b.WriteString(e.op.String())
+		b.WriteByte('(')
+		for i, a := range e.args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			a.writeKey(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// String renders the expression for humans, following the paper's notation:
+// sums print infix with two's-complement constants shown as subtractions
+// (rsp0 - 0x28), products as 0x4*x, and region reads as *[a,n]. The
+// rendering is deterministic, so it is safe inside canonical clause text.
+func (e *Expr) String() string {
+	switch e.kind {
+	case KindWord:
+		return fmt.Sprintf("0x%x", e.word)
+	case KindVar:
+		return string(e.v)
+	case KindDeref:
+		return fmt.Sprintf("*[%s,%d]", e.args[0], e.size)
+	case KindOp:
+		switch e.op {
+		case OpAdd:
+			var b strings.Builder
+			for i, a := range e.args {
+				w, isW := a.AsWord()
+				neg := isW && w >= 1<<63
+				switch {
+				case i == 0 && neg:
+					fmt.Fprintf(&b, "-0x%x", -w)
+				case i == 0:
+					b.WriteString(a.String())
+				case neg:
+					fmt.Fprintf(&b, " - 0x%x", -w)
+				default:
+					b.WriteString(" + ")
+					b.WriteString(a.String())
+				}
+			}
+			return b.String()
+		case OpMul:
+			var b strings.Builder
+			for i, a := range e.args {
+				if i > 0 {
+					b.WriteByte('*')
+				}
+				if a.kind == KindOp && (a.op == OpAdd || a.op == OpMul) {
+					fmt.Fprintf(&b, "(%s)", a)
+				} else {
+					b.WriteString(a.String())
+				}
+			}
+			return b.String()
+		}
+		var b strings.Builder
+		b.WriteString(e.op.String())
+		b.WriteByte('(')
+		for i, a := range e.args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteByte(')')
+		return b.String()
+	}
+	return e.Key()
+}
+
+// Equal reports structural equality.
+func (e *Expr) Equal(o *Expr) bool {
+	if e == o {
+		return true
+	}
+	if e == nil || o == nil {
+		return false
+	}
+	return e.Key() == o.Key()
+}
+
+// IsConstExpr reports whether e lies in the constant-expression subset C:
+// no registers, flags or region reads occur in e. Variables denote fixed
+// (if unknown) values, so they are constant in the paper's sense.
+func (e *Expr) IsConstExpr() bool {
+	switch e.kind {
+	case KindWord, KindVar:
+		return true
+	case KindDeref:
+		return false
+	case KindOp:
+		for _, a := range e.args {
+			if !a.IsConstExpr() {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Vars appends the set of variables occurring in e to dst and returns it.
+func (e *Expr) Vars(dst []Var) []Var {
+	switch e.kind {
+	case KindVar:
+		return append(dst, e.v)
+	case KindOp, KindDeref:
+		for _, a := range e.args {
+			dst = a.Vars(dst)
+		}
+	}
+	return dst
+}
+
+// ContainsVar reports whether variable v occurs in e.
+func (e *Expr) ContainsVar(v Var) bool {
+	switch e.kind {
+	case KindVar:
+		return e.v == v
+	case KindOp, KindDeref:
+		for _, a := range e.args {
+			if a.ContainsVar(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ContainsDeref reports whether any region read occurs in e.
+func (e *Expr) ContainsDeref() bool {
+	switch e.kind {
+	case KindDeref:
+		return true
+	case KindOp:
+		for _, a := range e.args {
+			if a.ContainsDeref() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// newOp builds a raw operator application without simplification.
+func newOp(op Op, args ...*Expr) *Expr {
+	return &Expr{kind: KindOp, op: op, args: args}
+}
+
+// sortArgs returns args sorted by canonical key (for commutative operators).
+func sortArgs(args []*Expr) []*Expr {
+	s := make([]*Expr, len(args))
+	copy(s, args)
+	sort.Slice(s, func(i, j int) bool { return s[i].Key() < s[j].Key() })
+	return s
+}

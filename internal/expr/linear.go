@@ -1,0 +1,182 @@
+package expr
+
+import "sort"
+
+// Linear is the linear normal form of an expression:
+//
+//	K + Σᵢ Cᵢ·tᵢ
+//
+// where the tᵢ are non-linear atoms (variables, region reads or opaque
+// operator applications) and arithmetic is modulo 2⁶⁴. The solver decides
+// pointer relations by subtracting linear forms; the simplifier uses it to
+// canonicalise sums.
+type Linear struct {
+	K     uint64
+	terms map[string]*term
+}
+
+type term struct {
+	e *Expr
+	c uint64 // coefficient, modulo 2^64 (negative coefficients wrap)
+}
+
+// NumTerms returns the number of distinct non-constant terms.
+func (l *Linear) NumTerms() int { return len(l.terms) }
+
+// Coeff returns the coefficient of atom t (0 if absent).
+func (l *Linear) Coeff(t *Expr) uint64 {
+	if tt, ok := l.terms[t.Key()]; ok {
+		return tt.c
+	}
+	return 0
+}
+
+// Terms calls f for each (atom, coefficient) pair in canonical key order.
+func (l *Linear) Terms(f func(atom *Expr, coeff uint64)) {
+	keys := make([]string, 0, len(l.terms))
+	for k := range l.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f(l.terms[k].e, l.terms[k].c)
+	}
+}
+
+// SingleTerm returns the unique (atom, coefficient) pair if the linear form
+// has exactly one non-constant term, and reports whether it does.
+func (l *Linear) SingleTerm() (atom *Expr, coeff uint64, ok bool) {
+	if len(l.terms) != 1 {
+		return nil, 0, false
+	}
+	for _, t := range l.terms {
+		return t.e, t.c, true
+	}
+	return nil, 0, false
+}
+
+func (l *Linear) add(e *Expr, c uint64) {
+	if c == 0 {
+		return
+	}
+	k := e.Key()
+	if t, ok := l.terms[k]; ok {
+		t.c += c
+		if t.c == 0 {
+			delete(l.terms, k)
+		}
+		return
+	}
+	if l.terms == nil {
+		l.terms = map[string]*term{}
+	}
+	l.terms[k] = &term{e: e, c: c}
+}
+
+// AddLinear accumulates scale·m into l.
+func (l *Linear) AddLinear(m *Linear, scale uint64) {
+	l.K += m.K * scale
+	for _, t := range m.terms {
+		l.add(t.e, t.c*scale)
+	}
+}
+
+// ToLinear decomposes e into linear normal form, flattening nested sums,
+// differences, negations and multiplications by constants.
+func ToLinear(e *Expr) *Linear {
+	l := &Linear{}
+	linearInto(l, e, 1)
+	return l
+}
+
+func linearInto(l *Linear, e *Expr, scale uint64) {
+	switch e.kind {
+	case KindWord:
+		l.K += e.word * scale
+	case KindOp:
+		switch e.op {
+		case OpAdd:
+			for _, a := range e.args {
+				linearInto(l, a, scale)
+			}
+			return
+		case OpNeg:
+			linearInto(l, e.args[0], -scale)
+			return
+		case OpMul:
+			// Fold the constant factors; if at most one non-constant
+			// factor remains the product is linear in it.
+			k := uint64(1)
+			var rest []*Expr
+			for _, a := range e.args {
+				if w, ok := a.AsWord(); ok {
+					k *= w
+				} else {
+					rest = append(rest, a)
+				}
+			}
+			switch len(rest) {
+			case 0:
+				l.K += k * scale
+				return
+			case 1:
+				linearInto(l, rest[0], k*scale)
+				return
+			}
+		}
+		l.add(e, scale)
+	default:
+		l.add(e, scale)
+	}
+}
+
+// Expr re-emits the linear form as a canonical expression: terms sorted by
+// key, the constant last, coefficient-1 terms bare, ±k coefficients chosen
+// to print subtractions where natural.
+func (l *Linear) Expr() *Expr {
+	if len(l.terms) == 0 {
+		return Word(l.K)
+	}
+	keys := make([]string, 0, len(l.terms))
+	for k := range l.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	args := make([]*Expr, 0, len(l.terms)+1)
+	for _, k := range keys {
+		t := l.terms[k]
+		if t.c == 1 {
+			args = append(args, t.e)
+		} else {
+			args = append(args, newOp(OpMul, Word(t.c), t.e))
+		}
+	}
+	if l.K != 0 {
+		args = append(args, Word(l.K))
+	}
+	if len(args) == 1 {
+		return args[0]
+	}
+	return newOp(OpAdd, args...)
+}
+
+// Sub returns l - m as a fresh linear form.
+func (l *Linear) Sub(m *Linear) *Linear {
+	d := &Linear{K: l.K - m.K}
+	for _, t := range l.terms {
+		d.add(t.e, t.c)
+	}
+	for _, t := range m.terms {
+		d.add(t.e, -t.c)
+	}
+	return d
+}
+
+// Const returns the constant value of the linear form and whether it has no
+// non-constant terms.
+func (l *Linear) Const() (uint64, bool) {
+	if len(l.terms) == 0 {
+		return l.K, true
+	}
+	return 0, false
+}

@@ -1,0 +1,153 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads an expression in the canonical Key() syntax:
+//
+//	0x1f               word
+//	rdi0               variable
+//	add(rdi0,0x8)      operator application
+//	*[rsp0,8]          region read
+//
+// Parsing re-applies the smart constructors, so Parse(e.Key()).Key() ==
+// e.Key(): the serialised form round-trips.
+func Parse(s string) (*Expr, error) {
+	p := &parser{s: s}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return nil, fmt.Errorf("expr: trailing input %q", p.s[p.pos:])
+	}
+	return e, nil
+}
+
+type parser struct {
+	s   string
+	pos int
+}
+
+func (p *parser) fail(format string, args ...any) error {
+	return fmt.Errorf("expr: %s at offset %d of %q", fmt.Sprintf(format, args...), p.pos, p.s)
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.s) {
+		return p.s[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) eat(c byte) error {
+	if p.peek() != c {
+		return p.fail("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+// opByName resolves operator mnemonics.
+var opByName = func() map[string]Op {
+	m := map[string]Op{}
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+func isIdent(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func (p *parser) expr() (*Expr, error) {
+	p.skipSpace()
+	switch {
+	case p.peek() == '*':
+		p.pos++
+		if err := p.eat('['); err != nil {
+			return nil, err
+		}
+		addr, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.eat(','); err != nil {
+			return nil, err
+		}
+		start := p.pos
+		for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+			p.pos++
+		}
+		size, err := strconv.Atoi(p.s[start:p.pos])
+		if err != nil {
+			return nil, p.fail("bad region size")
+		}
+		if err := p.eat(']'); err != nil {
+			return nil, err
+		}
+		return Deref(addr, size), nil
+
+	case strings.HasPrefix(p.s[p.pos:], "0x"):
+		start := p.pos + 2
+		end := start
+		for end < len(p.s) && isHex(p.s[end]) {
+			end++
+		}
+		w, err := strconv.ParseUint(p.s[start:end], 16, 64)
+		if err != nil {
+			return nil, p.fail("bad word: %v", err)
+		}
+		p.pos = end
+		return Word(w), nil
+
+	case isIdent(p.peek()):
+		start := p.pos
+		for p.pos < len(p.s) && isIdent(p.s[p.pos]) {
+			p.pos++
+		}
+		name := p.s[start:p.pos]
+		if p.peek() != '(' {
+			return V(Var(name)), nil
+		}
+		op, ok := opByName[name]
+		if !ok {
+			return nil, p.fail("unknown operator %q", name)
+		}
+		p.pos++ // (
+		var args []*Expr
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.eat(')'); err != nil {
+			return nil, err
+		}
+		return App(op, args...), nil
+	}
+	return nil, p.fail("unexpected input")
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f'
+}

@@ -1,0 +1,55 @@
+package hoare
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToDOT renders the graph in Graphviz syntax: one node per symbolic state
+// (weird vertices — targets of indirect jumps into instruction interiors —
+// are highlighted), edges labelled with their instructions.
+func (g *Graph) ToDOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", g.FuncName)
+
+	weird := map[uint64]bool{}
+	for _, a := range g.WeirdAddresses() {
+		weird[a] = true
+	}
+	isWeird := func(addr uint64) bool { return weird[addr] }
+
+	for _, v := range g.SortedVertices() {
+		label := string(v.ID)
+		attrs := ""
+		switch v.ID {
+		case ExitID:
+			label = "exit\\n(ret to " + string(g.RetSym) + ")"
+			attrs = ", shape=doublecircle"
+		case HaltID:
+			label = "halt"
+			attrs = ", shape=doublecircle"
+		default:
+			if inst, ok := g.Instrs[v.Addr]; ok {
+				label = fmt.Sprintf("%#x\\n%s", v.Addr, inst.String())
+			}
+			if isWeird(v.Addr) {
+				attrs = ", style=filled, fillcolor=salmon, color=red"
+				label += "\\nWEIRD"
+			}
+		}
+		fmt.Fprintf(&b, "  %q [label=\"%s\"%s];\n", v.ID, label, attrs)
+	}
+	for _, e := range g.SortedEdges() {
+		style := ""
+		if to, ok := g.Vertices[e.To]; ok && to != nil && isWeird(to.Addr) && e.To != ExitID && e.To != HaltID {
+			style = ", color=red, penwidth=2"
+		}
+		label := e.Kind.String()
+		if e.Callee != "" {
+			label += " " + e.Callee
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n", e.From, e.To, label, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,302 @@
+// Package hoare defines the Hoare Graph of Definition 3.2: a transition
+// system ⟨Σ, σI, →Σ⟩ whose vertices are symbolic states (predicate ×
+// memory model) and whose edges are labelled with disassembled
+// instructions. Every edge is one-step-inductive — a Hoare triple — which
+// is what the independent checker of package triple re-verifies.
+package hoare
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/sem"
+	"repro/internal/x86"
+)
+
+// VertexID identifies a vertex. Vertices are keyed by instruction address
+// plus a code-pointer signature (the compatibility extension of Section 4:
+// states holding different code-pointer immediates are not joined).
+type VertexID string
+
+// The synthetic terminal vertices.
+const (
+	ExitID VertexID = "exit" // function returned to its symbolic return address
+	HaltID VertexID = "halt" // execution terminated (hlt/ud2/exit-call)
+)
+
+// Vertex is one vertex: an invariant (symbolic state) at an address.
+type Vertex struct {
+	ID    VertexID
+	Addr  uint64
+	State *sem.State
+	// Joins counts how many times the invariant was weakened by joining.
+	Joins int
+}
+
+// Edge is one labelled transition. For terminal edges To is ExitID/HaltID.
+type Edge struct {
+	From VertexID
+	To   VertexID
+	Inst x86.Inst
+	Kind sem.OutKind
+	// Callee names the called function for call edges ("" otherwise).
+	Callee string
+}
+
+// AnnKind classifies unsoundness annotations (Line 13 of Algorithm 1).
+type AnnKind uint8
+
+// The annotation kinds reported in Table 1.
+const (
+	AnnUnresolvedJump AnnKind = iota // column B
+	AnnUnresolvedCall                // column C
+	AnnFetchError
+)
+
+// String renders the annotation kind.
+func (k AnnKind) String() string {
+	switch k {
+	case AnnUnresolvedJump:
+		return "unresolved-jump"
+	case AnnUnresolvedCall:
+		return "unresolved-call"
+	default:
+		return "fetch-error"
+	}
+}
+
+// Annotation marks an instruction whose successors could not be bounded.
+type Annotation struct {
+	Addr uint64
+	Kind AnnKind
+	Text string
+}
+
+// Graph is the extracted Hoare graph of one function (or binary entry).
+type Graph struct {
+	FuncAddr uint64
+	FuncName string
+	// RetSym is the symbolic return address a_r pushed at entry.
+	RetSym expr.Var
+	// EntryID is σI's vertex.
+	EntryID VertexID
+
+	Vertices map[VertexID]*Vertex
+	Edges    []Edge
+
+	Annotations []Annotation
+	// Obligations are the generated proof obligations over external
+	// functions (Section 5.3).
+	Obligations []string
+	// Assumptions are the implicit separation assumptions (Section 5.2).
+	Assumptions []string
+
+	// Instrs is the recovered disassembly: every instruction lifted.
+	Instrs map[uint64]x86.Inst
+	// Resolved counts indirect control transfers whose target sets were
+	// bounded (column A of Table 1), keyed by instruction address.
+	Resolved map[uint64]bool
+
+	edgeSet map[string]bool
+}
+
+// NewGraph returns an empty graph for a function at addr.
+func NewGraph(addr uint64, name string, retSym expr.Var) *Graph {
+	return &Graph{
+		FuncAddr: addr,
+		FuncName: name,
+		RetSym:   retSym,
+		Vertices: map[VertexID]*Vertex{},
+		Instrs:   map[uint64]x86.Inst{},
+		Resolved: map[uint64]bool{},
+		edgeSet:  map[string]bool{},
+	}
+}
+
+// AddEdge inserts an edge if not already present.
+func (g *Graph) AddEdge(e Edge) {
+	key := fmt.Sprintf("%s→%s@%x", e.From, e.To, e.Inst.Addr)
+	if g.edgeSet[key] {
+		return
+	}
+	g.edgeSet[key] = true
+	g.Edges = append(g.Edges, e)
+}
+
+// Annotate records an unsoundness annotation.
+func (g *Graph) Annotate(addr uint64, kind AnnKind, text string) {
+	for _, a := range g.Annotations {
+		if a.Addr == addr && a.Kind == kind {
+			return
+		}
+	}
+	g.Annotations = append(g.Annotations, Annotation{Addr: addr, Kind: kind, Text: text})
+}
+
+// Stats summarises a graph in the shape of Table 1's columns, plus the
+// count of "weird" vertices — instruction addresses inside the interior of
+// other lifted instructions (overlapping instructions, Section 2).
+type Stats struct {
+	Instructions   int
+	States         int
+	ResolvedInd    int // A
+	UnresolvedJump int // B
+	UnresolvedCall int // C
+	Edges          int
+	Obligations    int
+	Assumptions    int
+	WeirdVertices  int
+}
+
+// Stats computes the summary.
+func (g *Graph) Stats() Stats {
+	s := Stats{
+		Instructions: len(g.Instrs),
+		States:       len(g.Vertices),
+		Edges:        len(g.Edges),
+		Obligations:  len(g.Obligations),
+		Assumptions:  len(g.Assumptions),
+	}
+	for _, ok := range g.Resolved {
+		if ok {
+			s.ResolvedInd++
+		}
+	}
+	for _, a := range g.Annotations {
+		switch a.Kind {
+		case AnnUnresolvedJump:
+			s.UnresolvedJump++
+		case AnnUnresolvedCall:
+			s.UnresolvedCall++
+		}
+	}
+	for _, addr := range g.WeirdAddresses() {
+		s.WeirdVertices += len(g.VerticesAt(addr))
+	}
+	return s
+}
+
+// WeirdAddresses returns the lifted instruction addresses that lie
+// strictly inside another lifted instruction — overlapping instructions,
+// the hallmark of "weird" control flow (Section 2).
+func (g *Graph) WeirdAddresses() []uint64 {
+	var out []uint64
+	for addr := range g.Instrs {
+		for a, inst := range g.Instrs {
+			if addr > a && addr < a+uint64(inst.Len) {
+				out = append(out, addr)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Add accumulates another stats record (per-directory totals of Table 1).
+func (s *Stats) Add(o Stats) {
+	s.Instructions += o.Instructions
+	s.States += o.States
+	s.ResolvedInd += o.ResolvedInd
+	s.UnresolvedJump += o.UnresolvedJump
+	s.UnresolvedCall += o.UnresolvedCall
+	s.Edges += o.Edges
+	s.Obligations += o.Obligations
+	s.Assumptions += o.Assumptions
+	s.WeirdVertices += o.WeirdVertices
+}
+
+// SortedVertices returns the vertices ordered by address then ID.
+func (g *Graph) SortedVertices() []*Vertex {
+	out := make([]*Vertex, 0, len(g.Vertices))
+	for _, v := range g.Vertices {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// SortedEdges returns edges ordered by source address then target.
+func (g *Graph) SortedEdges() []Edge {
+	out := append([]Edge(nil), g.Edges...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Inst.Addr != out[j].Inst.Addr {
+			return out[i].Inst.Addr < out[j].Inst.Addr
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Successors returns the target vertex IDs of edges leaving from.
+func (g *Graph) Successors(from VertexID) []VertexID {
+	var out []VertexID
+	for _, e := range g.Edges {
+		if e.From == from {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// HasEdge reports whether an edge from→to exists.
+func (g *Graph) HasEdge(from, to VertexID) bool {
+	for _, e := range g.Edges {
+		if e.From == from && e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// VerticesAt returns the vertices whose address is addr (several when the
+// code-pointer compatibility extension kept states apart).
+func (g *Graph) VerticesAt(addr uint64) []*Vertex {
+	var out []*Vertex
+	for _, v := range g.Vertices {
+		if v.Addr == addr && v.ID != ExitID && v.ID != HaltID {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Dump renders the graph as text: vertices with their invariants, then
+// edges. The format is stable, suitable for golden tests and export.
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hoare graph of %s @ %#x (retsym %s)\n", g.FuncName, g.FuncAddr, g.RetSym)
+	for _, v := range g.SortedVertices() {
+		fmt.Fprintf(&b, "vertex %s @ %#x\n", v.ID, v.Addr)
+		if v.State != nil {
+			for _, c := range v.State.Pred.Clauses() {
+				fmt.Fprintf(&b, "  inv %s\n", c)
+			}
+			fmt.Fprintf(&b, "  mem %s\n", v.State.Mem)
+		}
+	}
+	for _, e := range g.SortedEdges() {
+		label := e.Inst.String()
+		if e.Callee != "" {
+			label += " ; " + e.Callee
+		}
+		fmt.Fprintf(&b, "edge %s -> %s : %s\n", e.From, e.To, label)
+	}
+	for _, a := range g.Annotations {
+		fmt.Fprintf(&b, "annotation @%#x %s: %s\n", a.Addr, a.Kind, a.Text)
+	}
+	for _, o := range g.Obligations {
+		fmt.Fprintf(&b, "obligation %s\n", o)
+	}
+	for _, a := range g.Assumptions {
+		fmt.Fprintf(&b, "assumption %s\n", a)
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package hoare
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/sem"
+	"repro/internal/x86"
+)
+
+func sampleGraph() *Graph {
+	g := NewGraph(0x401000, "f", "S_401000")
+	g.EntryID = "401000"
+	st := sem.InitialState("S_401000")
+	g.Vertices["401000"] = &Vertex{ID: "401000", Addr: 0x401000, State: st}
+	g.Vertices["401005"] = &Vertex{ID: "401005", Addr: 0x401005, State: st.Clone()}
+	g.Vertices[ExitID] = &Vertex{ID: ExitID}
+	mov := x86.Inst{Addr: 0x401000, Mn: x86.MOV, Ops: []x86.Operand{
+		x86.RegOp(x86.RAX, 8), x86.ImmOp(1, 4)}}
+	ret := x86.Inst{Addr: 0x401005, Mn: x86.RET}
+	g.Instrs[0x401000] = mov
+	g.Instrs[0x401005] = ret
+	g.AddEdge(Edge{From: "401000", To: "401005", Inst: mov, Kind: sem.KFall})
+	g.AddEdge(Edge{From: "401005", To: ExitID, Inst: ret, Kind: sem.KRet})
+	return g
+}
+
+func TestEdgeDedup(t *testing.T) {
+	g := sampleGraph()
+	n := len(g.Edges)
+	g.AddEdge(g.Edges[0])
+	if len(g.Edges) != n {
+		t.Fatal("duplicate edge inserted")
+	}
+}
+
+func TestAnnotateDedup(t *testing.T) {
+	g := sampleGraph()
+	g.Annotate(0x401000, AnnUnresolvedJump, "first")
+	g.Annotate(0x401000, AnnUnresolvedJump, "second")
+	g.Annotate(0x401000, AnnUnresolvedCall, "different kind")
+	if len(g.Annotations) != 2 {
+		t.Fatalf("annotations: %+v", g.Annotations)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := sampleGraph()
+	g.Resolved[0x401000] = true
+	g.Annotate(0x401010, AnnUnresolvedJump, "b")
+	g.Annotate(0x401020, AnnUnresolvedCall, "c")
+	g.Obligations = append(g.Obligations, "ob")
+	g.Assumptions = append(g.Assumptions, "as")
+	s := g.Stats()
+	if s.Instructions != 2 || s.States != 3 || s.Edges != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.ResolvedInd != 1 || s.UnresolvedJump != 1 || s.UnresolvedCall != 1 {
+		t.Fatalf("indirection stats: %+v", s)
+	}
+	if s.Obligations != 1 || s.Assumptions != 1 {
+		t.Fatalf("obligation stats: %+v", s)
+	}
+	var sum Stats
+	sum.Add(s)
+	sum.Add(s)
+	if sum.Instructions != 4 || sum.ResolvedInd != 2 {
+		t.Fatalf("sum: %+v", sum)
+	}
+}
+
+func TestSortedAndQueries(t *testing.T) {
+	g := sampleGraph()
+	vs := g.SortedVertices()
+	if len(vs) != 3 {
+		t.Fatalf("vertices: %d", len(vs))
+	}
+	// Terminal vertices have address 0 and sort first.
+	if vs[len(vs)-1].Addr != 0x401005 {
+		t.Fatalf("sort order: %+v", vs)
+	}
+	es := g.SortedEdges()
+	if es[0].Inst.Addr != 0x401000 {
+		t.Fatalf("edge order: %+v", es)
+	}
+	succ := g.Successors("401000")
+	if len(succ) != 1 || succ[0] != "401005" {
+		t.Fatalf("successors: %v", succ)
+	}
+	if !g.HasEdge("401005", ExitID) || g.HasEdge("401000", ExitID) {
+		t.Fatal("HasEdge")
+	}
+	at := g.VerticesAt(0x401005)
+	if len(at) != 1 || at[0].ID != "401005" {
+		t.Fatalf("vertices at: %+v", at)
+	}
+}
+
+func TestDump(t *testing.T) {
+	g := sampleGraph()
+	g.Vertices["401000"].State.Pred.SetReg(x86.RAX, expr.Word(7))
+	g.Annotate(0x401010, AnnUnresolvedJump, "why")
+	g.Obligations = append(g.Obligations, "@1 : f(...) MUST PRESERVE [...]")
+	g.Assumptions = append(g.Assumptions, "@2 : ASSUMED SEPARATE")
+	d := g.Dump()
+	for _, want := range []string{
+		"hoare graph of f",
+		"vertex 401000",
+		"inv rax == 0x7",
+		"edge 401000 -> 401005 : mov rax, 0x1",
+		"edge 401005 -> exit : ret",
+		"annotation @0x401010 unresolved-jump: why",
+		"obligation @1",
+		"assumption @2",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestAnnKindStrings(t *testing.T) {
+	for _, k := range []AnnKind{AnnUnresolvedJump, AnnUnresolvedCall, AnnFetchError} {
+		if k.String() == "" {
+			t.Fatal("empty annotation kind")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package image
+
+import (
+	"testing"
+
+	"repro/internal/elf64"
+	"repro/internal/x86"
+)
+
+func sampleImage(t *testing.T) *Image {
+	t.Helper()
+	b := elf64.NewExec(0x401000)
+	// text: push rbp; ret
+	b.AddSection(".text", elf64.SHFExecinstr, 0x401000, []byte{0x55, 0xc3})
+	b.AddSection(".plt", elf64.SHFExecinstr, 0x400800, []byte{0xff, 0x25, 0, 0, 0x10, 0, 0x90, 0x90})
+	b.AddSection(".rodata", 0, 0x4a0000, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	b.AddSection(".data", elf64.SHFWrite, 0x4b0000, []byte{9, 9, 9, 9})
+	b.AddFunc("main", 0x401000, 2)
+	b.AddFunc("memset@plt", 0x400800, 8)
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := Load(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestFetchAndCache(t *testing.T) {
+	im := sampleImage(t)
+	inst, err := im.Fetch(0x401000)
+	if err != nil || inst.Mn != x86.PUSH {
+		t.Fatalf("fetch: %v %v", inst, err)
+	}
+	// Cached fetch returns the same decoding.
+	inst2, err := im.Fetch(0x401000)
+	if err != nil || inst2.Mn != x86.PUSH {
+		t.Fatal("cached fetch")
+	}
+	if _, err := im.Fetch(0x4a0000); err == nil {
+		t.Fatal("fetch from rodata must fail")
+	}
+	if _, err := im.Fetch(0x999999); err == nil {
+		t.Fatal("fetch from unmapped must fail")
+	}
+}
+
+func TestTextRangeAndInText(t *testing.T) {
+	im := sampleImage(t)
+	lo, hi := im.TextRange()
+	if lo != 0x400800 || hi != 0x401002 {
+		t.Fatalf("text range: %#x..%#x", lo, hi)
+	}
+	if !im.InText(0x401001) || im.InText(0x4a0000) || im.InText(0) {
+		t.Fatal("InText")
+	}
+	if im.Entry() != 0x401000 {
+		t.Fatalf("entry: %#x", im.Entry())
+	}
+}
+
+func TestReadOnlyQueries(t *testing.T) {
+	im := sampleImage(t)
+	if !im.IsReadOnly(0x4a0000, 8) {
+		t.Fatal("rodata must be read-only")
+	}
+	if im.IsReadOnly(0x4a0001, 8) {
+		t.Fatal("overhanging range must not be read-only")
+	}
+	if im.IsReadOnly(0x4b0000, 4) {
+		t.Fatal(".data is writable")
+	}
+	v, ok := im.ReadRO(0x4a0000, 4)
+	if !ok || v != 0x04030201 {
+		t.Fatalf("ReadRO: %#x %v", v, ok)
+	}
+	if _, ok := im.ReadRO(0x4b0000, 4); ok {
+		t.Fatal("ReadRO from .data must fail")
+	}
+	// Text is also mapped read-only (constants can be read from it).
+	if !im.IsMapped(0x4b0000) || im.IsMapped(0x700000) {
+		t.Fatal("IsMapped")
+	}
+}
+
+func TestPLTAndSymbols(t *testing.T) {
+	im := sampleImage(t)
+	name, ok := im.PLTName(0x400800)
+	if !ok || name != "memset" {
+		t.Fatalf("plt: %q %v", name, ok)
+	}
+	if _, ok := im.PLTName(0x401000); ok {
+		t.Fatal("main is not a stub")
+	}
+	funcs := im.FuncSymbols()
+	if len(funcs) != 1 || funcs[0].Name != "main" {
+		t.Fatalf("func symbols must exclude PLT stubs: %+v", funcs)
+	}
+	if n, ok := im.SymbolName(0x401000); !ok || n != "main" {
+		t.Fatalf("symbol name: %q %v", n, ok)
+	}
+	if _, ok := im.SymbolName(0xdead); ok {
+		t.Fatal("bogus symbol lookup")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load([]byte("junk")); err == nil {
+		t.Fatal("junk must fail")
+	}
+}

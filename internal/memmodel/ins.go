@@ -1,0 +1,358 @@
+package memmodel
+
+import (
+	"repro/internal/solver"
+)
+
+// RelKind describes, for one model produced by insertion, how an existing
+// region relates to the inserted region. The semantics layer uses it to
+// update or invalidate the memory equality clauses of the predicate.
+type RelKind uint8
+
+// The relation kinds recorded per produced model.
+const (
+	RelSeparate   RelKind = iota // contents unaffected
+	RelAlias                     // same region: contents replaced by the write
+	RelEnclosedIn                // inserted region lies inside the existing one
+	RelEncloses                  // existing region lies inside the inserted one
+	RelDestroyed                 // possibly partially overlapping: contents unknown
+)
+
+// String renders the relation kind.
+func (k RelKind) String() string {
+	switch k {
+	case RelSeparate:
+		return "separate"
+	case RelAlias:
+		return "alias"
+	case RelEnclosedIn:
+		return "enclosed-in"
+	case RelEncloses:
+		return "encloses"
+	default:
+		return "destroyed"
+	}
+}
+
+// InsResult is one nondeterministically produced memory model plus the
+// relation of every pre-existing region to the inserted region in that
+// model.
+type InsResult struct {
+	Forest Forest
+	Rel    map[string]RelKind
+}
+
+// Oracle answers necessarily-relation queries between regions; the lifter
+// implements it with the solver over the current predicate (the paper uses
+// Z3 there).
+type Oracle interface {
+	Compare(r0, r1 solver.Region) solver.Result
+}
+
+// Config tunes the nondeterminism of insertion.
+type Config struct {
+	// ForkUnknown makes insertion produce one model per possible clean
+	// relation when nothing is decided (the paper's nondeterministic
+	// exploration). When false, undecided insertions destroy instead —
+	// the ablation of Section "Design choices" in DESIGN.md.
+	ForkUnknown bool
+	// AssumePartialImpossible reflects the paper's observation that
+	// compiler-generated code accesses structured regions: possible
+	// partial overlaps do not generate an extra destroyed model when a
+	// clean relation is also possible. Setting it to false adds the
+	// destroy model whenever partial overlap cannot be excluded.
+	AssumePartialImpossible bool
+	// MaxModels bounds the fan-out of one insertion; beyond it the
+	// insertion falls back to destroying (state-space control).
+	MaxModels int
+}
+
+// DefaultConfig returns the configuration used by the paper's algorithm.
+func DefaultConfig() Config {
+	return Config{ForkUnknown: true, AssumePartialImpossible: true, MaxModels: 8}
+}
+
+// RelationsOf derives the relation of region r to every other region from
+// the structure of a model that already contains r. Same node: alias;
+// ancestor: r is enclosed in it; descendant: encloses; otherwise separate.
+func RelationsOf(f Forest, r solver.Region) map[string]RelKind {
+	want := regionKey(r)
+	rel := map[string]RelKind{}
+	for _, reg := range f.AllRegions(nil) {
+		if k := regionKey(reg); k != want {
+			rel[k] = RelSeparate
+		}
+	}
+	var walk func(f Forest, ancestors []string) bool
+	walk = func(f Forest, ancestors []string) bool {
+		for _, t := range f {
+			inNode := false
+			var nodeKeys []string
+			for _, reg := range t.Regions {
+				k := regionKey(reg)
+				nodeKeys = append(nodeKeys, k)
+				if k == want {
+					inNode = true
+				}
+			}
+			if inNode {
+				for _, k := range nodeKeys {
+					if k != want {
+						rel[k] = RelAlias
+					}
+				}
+				for _, a := range ancestors {
+					rel[a] = RelEnclosedIn
+				}
+				for _, kid := range t.Kids.AllRegions(nil) {
+					rel[regionKey(kid)] = RelEncloses
+				}
+				return true
+			}
+			if walk(t.Kids, append(ancestors, nodeKeys...)) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(f, nil)
+	return rel
+}
+
+// Ins inserts region r into memory model f per Definition 3.7, returning
+// the nondeterministic set of produced models. If the region is already
+// present the model is unchanged and its relations are read off the
+// structure.
+func Ins(r solver.Region, f Forest, o Oracle, cfg Config) []InsResult {
+	if f.HasRegion(r) {
+		return []InsResult{{Forest: f, Rel: RelationsOf(f, r)}}
+	}
+	results := insTree(Leaf(r), f, o, cfg)
+	if len(results) == 0 || len(results) > cfg.MaxModels {
+		return []InsResult{destroy(Leaf(r), f, o)}
+	}
+	return results
+}
+
+// treeRel aggregates solver verdicts between the top nodes of t0 and t1.
+type treeRel struct {
+	alias, separate, enclosed, encloses, partial solver.Verdict
+}
+
+func compareTrees(t0, t1 *Tree, o Oracle) treeRel {
+	// Start from the strongest claims and weaken per pair.
+	agg := treeRel{
+		alias: solver.No, separate: solver.Yes,
+		enclosed: solver.No, encloses: solver.Yes, partial: solver.No,
+	}
+	anyEnclosedYes := false
+	for _, r0 := range t0.Regions {
+		for _, r1 := range t1.Regions {
+			v := o.Compare(r0, r1)
+			// alias: Yes if any pair necessarily aliases.
+			if v.Alias == solver.Yes {
+				agg.alias = solver.Yes
+			} else if v.Alias == solver.Maybe && agg.alias == solver.No {
+				agg.alias = solver.Maybe
+			}
+			// separate: needs all pairs separate.
+			if v.Separate != solver.Yes && agg.separate == solver.Yes {
+				agg.separate = v.Separate
+			} else if v.Separate == solver.No {
+				agg.separate = solver.No
+			}
+			// enclosed: Yes if necessarily inside some top region.
+			if v.Enclosed == solver.Yes {
+				anyEnclosedYes = true
+			} else if v.Enclosed == solver.Maybe && agg.enclosed == solver.No {
+				agg.enclosed = solver.Maybe
+			}
+			// encloses: needs all of t1's top inside t0.
+			if v.Encloses != solver.Yes && agg.encloses == solver.Yes {
+				agg.encloses = v.Encloses
+			} else if v.Encloses == solver.No {
+				agg.encloses = solver.No
+			}
+			if v.Partial == solver.Yes {
+				agg.partial = solver.Yes
+			} else if v.Partial == solver.Maybe && agg.partial == solver.No {
+				agg.partial = solver.Maybe
+			}
+		}
+	}
+	if anyEnclosedYes {
+		agg.enclosed = solver.Yes
+	}
+	return agg
+}
+
+// insTree is the recursive ins of Definition 3.7 extended with relation
+// recording. t0 is the tree being inserted; f the current (sub-)model.
+func insTree(t0 *Tree, f Forest, o Oracle, cfg Config) []InsResult {
+	if len(f) == 0 {
+		return []InsResult{{Forest: Forest{t0.Clone()}, Rel: map[string]RelKind{}}}
+	}
+	t1, rest := f[0], f[1:]
+	rel := compareTrees(t0, t1, o)
+
+	switch {
+	case rel.alias == solver.Yes:
+		return []InsResult{insAlias(t0, t1, rest)}
+	case rel.separate == solver.Yes:
+		return insSep(t0, t1, rest, o, cfg)
+	case rel.enclosed == solver.Yes:
+		return []InsResult{insEnc(t0, t1, rest, o, cfg)}
+	case rel.encloses == solver.Yes:
+		return insCon(t0, t1, rest, o, cfg)
+	}
+
+	if !cfg.ForkUnknown {
+		return nil // caller falls back to destroy
+	}
+
+	// Nondeterministic fork: one model per possible clean relation.
+	var out []InsResult
+	if rel.alias == solver.Maybe {
+		out = append(out, insAlias(t0, t1, rest))
+	}
+	if rel.separate == solver.Maybe {
+		out = append(out, insSep(t0, t1, rest, o, cfg)...)
+	}
+	if rel.enclosed == solver.Maybe {
+		out = append(out, insEnc(t0, t1, rest, o, cfg))
+	}
+	if rel.encloses == solver.Maybe {
+		out = append(out, insCon(t0, t1, rest, o, cfg)...)
+	}
+	if rel.partial == solver.Maybe && !cfg.AssumePartialImpossible || rel.partial == solver.Yes {
+		out = append(out, destroy(t0, f, o))
+	}
+	return out
+}
+
+// insAlias merges the nodes of t0 and t1; the children of both become
+// children of the merged node. Existing top regions alias the write;
+// existing children are enclosed by it.
+func insAlias(t0, t1 *Tree, rest Forest) InsResult {
+	rel := map[string]RelKind{}
+	merged := &Tree{}
+	seen := map[string]bool{}
+	for _, r := range append(append([]solver.Region{}, t0.Regions...), t1.Regions...) {
+		if k := regionKey(r); !seen[k] {
+			seen[k] = true
+			merged.Regions = append(merged.Regions, r)
+		}
+	}
+	for _, r := range t1.Regions {
+		rel[regionKey(r)] = RelAlias
+	}
+	merged.Kids = append(t0.Kids.Clone(), t1.Kids.Clone()...)
+	for _, kid := range t1.Kids.AllRegions(nil) {
+		rel[regionKey(kid)] = RelEncloses
+	}
+	out := append(Forest{merged}, rest.Clone()...)
+	for _, r := range rest.AllRegions(nil) {
+		rel[regionKey(r)] = RelSeparate
+	}
+	return InsResult{Forest: out, Rel: rel}
+}
+
+// insSep keeps t1 untouched and recursively inserts t0 into the rest.
+func insSep(t0, t1 *Tree, rest Forest, o Oracle, cfg Config) []InsResult {
+	subResults := insTree(t0, rest, o, cfg)
+	out := make([]InsResult, 0, len(subResults))
+	for _, sub := range subResults {
+		rel := map[string]RelKind{}
+		for k, v := range sub.Rel {
+			rel[k] = v
+		}
+		for _, r := range t1.Regions {
+			rel[regionKey(r)] = RelSeparate
+		}
+		for _, r := range t1.Kids.AllRegions(nil) {
+			rel[regionKey(r)] = RelSeparate
+		}
+		out = append(out, InsResult{
+			Forest: append(Forest{t1.Clone()}, sub.Forest...),
+			Rel:    rel,
+		})
+	}
+	return out
+}
+
+// insEnc inserts t0 into the sub-forest of t1. To keep the model count
+// linear we commit to the first produced sub-model here; enclosure writes
+// invalidate the enclosing region's contents anyway, so extra sub-models
+// add no precision for the predicate.
+func insEnc(t0, t1 *Tree, rest Forest, o Oracle, cfg Config) InsResult {
+	subResults := insTree(t0, t1.Kids, o, cfg)
+	sub := subResults[0]
+	rel := map[string]RelKind{}
+	for k, v := range sub.Rel {
+		rel[k] = v
+	}
+	for _, r := range t1.Regions {
+		rel[regionKey(r)] = RelEnclosedIn
+	}
+	nt := &Tree{Regions: append([]solver.Region(nil), t1.Regions...), Kids: sub.Forest}
+	for _, r := range rest.AllRegions(nil) {
+		rel[regionKey(r)] = RelSeparate
+	}
+	return InsResult{Forest: append(Forest{nt}, rest.Clone()...), Rel: rel}
+}
+
+// insCon makes t1 a child of t0 and recursively inserts the grown t0 into
+// the rest of the model.
+func insCon(t0, t1 *Tree, rest Forest, o Oracle, cfg Config) []InsResult {
+	grown := t0.Clone()
+	grown.Kids = append(grown.Kids, t1.Clone())
+	inner := map[string]RelKind{}
+	for _, r := range t1.Regions {
+		inner[regionKey(r)] = RelEncloses
+	}
+	for _, r := range t1.Kids.AllRegions(nil) {
+		inner[regionKey(r)] = RelEncloses
+	}
+	subResults := insTree(grown, rest, o, cfg)
+	out := make([]InsResult, 0, len(subResults))
+	for _, sub := range subResults {
+		rel := map[string]RelKind{}
+		for k, v := range sub.Rel {
+			rel[k] = v
+		}
+		for k, v := range inner {
+			rel[k] = v
+		}
+		out = append(out, InsResult{Forest: sub.Forest, Rel: rel})
+	}
+	return out
+}
+
+// destroy removes every tree that is not necessarily separate from t0 and
+// marks its regions destroyed, then adds t0 as a fresh top-level tree
+// (Section 1: partially overlapping regions are destroyed, reads from them
+// produce unconstrained symbolic values).
+func destroy(t0 *Tree, f Forest, o Oracle) InsResult {
+	rel := map[string]RelKind{}
+	var kept Forest
+	for _, t := range f {
+		r := compareTrees(t0, t, o)
+		if r.separate == solver.Yes {
+			kept = append(kept, t.Clone())
+			for _, reg := range t.Regions {
+				rel[regionKey(reg)] = RelSeparate
+			}
+			for _, reg := range t.Kids.AllRegions(nil) {
+				rel[regionKey(reg)] = RelSeparate
+			}
+			continue
+		}
+		for _, reg := range t.Regions {
+			rel[regionKey(reg)] = RelDestroyed
+		}
+		for _, reg := range t.Kids.AllRegions(nil) {
+			rel[regionKey(reg)] = RelDestroyed
+		}
+	}
+	return InsResult{Forest: append(kept, t0.Clone()), Rel: rel}
+}

@@ -1,0 +1,405 @@
+package memmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/pred"
+	"repro/internal/solver"
+)
+
+// predOracle adapts the solver over a predicate to the Oracle interface.
+type predOracle struct{ p *pred.Pred }
+
+func (o predOracle) Compare(r0, r1 solver.Region) solver.Result {
+	return solver.Compare(o.p, r0, r1)
+}
+
+func topOracle() Oracle { return predOracle{pred.New()} }
+
+func rsp(off int64) *expr.Expr {
+	return expr.Add(expr.V("rsp0"), expr.Word(uint64(off)))
+}
+
+func reg(e *expr.Expr, size uint64) solver.Region { return solver.Region{Addr: e, Size: size} }
+
+func TestInsEmpty(t *testing.T) {
+	r := reg(rsp(-8), 8)
+	res := Ins(r, nil, topOracle(), DefaultConfig())
+	if len(res) != 1 || res[0].Forest.NumRegions() != 1 {
+		t.Fatalf("insert into empty: %v", res)
+	}
+	if !res[0].Forest.HasRegion(r) {
+		t.Fatal("region missing")
+	}
+}
+
+func TestInsSeparateStackSlots(t *testing.T) {
+	cfg := DefaultConfig()
+	o := topOracle()
+	var f Forest
+	for _, off := range []int64{-8, -16, -24} {
+		res := Ins(reg(rsp(off), 8), f, o, cfg)
+		if len(res) != 1 {
+			t.Fatalf("stack slot insert must be deterministic, got %d models", len(res))
+		}
+		f = res[0].Forest
+	}
+	if len(f) != 3 || f.NumRegions() != 3 {
+		t.Fatalf("three separate siblings expected: %v", f)
+	}
+	// Relations of the last insert: others separate.
+	res := Ins(reg(rsp(-24), 8), f, o, cfg)
+	if len(res) != 1 {
+		t.Fatal("re-insert of present region must be deterministic")
+	}
+	for k, v := range res[0].Rel {
+		if v != RelSeparate {
+			t.Errorf("slot %s relation %v", k, v)
+		}
+	}
+}
+
+func TestInsAlias(t *testing.T) {
+	o := topOracle()
+	cfg := DefaultConfig()
+	f := Forest{Leaf(reg(rsp(-8), 8))}
+	// Same region, different syntactic address with same canonical form.
+	res := Ins(reg(expr.Sub(expr.V("rsp0"), expr.Word(8)), 8), f, o, cfg)
+	if len(res) != 1 {
+		t.Fatalf("alias insert: %d models", len(res))
+	}
+	if res[0].Forest.NumRegions() != 1 {
+		t.Fatalf("alias must not add a region: %v", res[0].Forest)
+	}
+}
+
+func TestInsEnclosure(t *testing.T) {
+	o := topOracle()
+	cfg := DefaultConfig()
+	f := Forest{Leaf(reg(rsp(-16), 8))}
+	res := Ins(reg(rsp(-12), 4), f, o, cfg)
+	if len(res) != 1 {
+		t.Fatalf("enclosed insert: %d models", len(res))
+	}
+	nf := res[0].Forest
+	if len(nf) != 1 || len(nf[0].Kids) != 1 {
+		t.Fatalf("expected child: %v", nf)
+	}
+	if res[0].Rel[regionKey(reg(rsp(-16), 8))] != RelEnclosedIn {
+		t.Fatalf("parent relation: %v", res[0].Rel)
+	}
+	// The converse: inserting the big region into a model with the small one.
+	f2 := Forest{Leaf(reg(rsp(-12), 4))}
+	res2 := Ins(reg(rsp(-16), 8), f2, o, cfg)
+	if len(res2) != 1 {
+		t.Fatalf("encloses insert: %d models", len(res2))
+	}
+	nf2 := res2[0].Forest
+	if len(nf2) != 1 || len(nf2[0].Kids) != 1 {
+		t.Fatalf("expected containment: %v", nf2)
+	}
+	if res2[0].Rel[regionKey(reg(rsp(-12), 4))] != RelEncloses {
+		t.Fatalf("child relation: %v", res2[0].Rel)
+	}
+}
+
+// TestInsForkUnknownAlias reproduces the Section 2 situation: two same-size
+// regions with unknown bases fork into an aliasing and a separate model.
+func TestInsForkUnknownAlias(t *testing.T) {
+	o := topOracle()
+	cfg := DefaultConfig()
+	f := Forest{Leaf(reg(expr.V("rdi0"), 4))}
+	res := Ins(reg(expr.V("rsi0"), 4), f, o, cfg)
+	if len(res) != 2 {
+		t.Fatalf("unknown same-size relation must fork into 2 models, got %d", len(res))
+	}
+	var sawAlias, sawSep bool
+	for _, r := range res {
+		switch r.Rel[regionKey(reg(expr.V("rdi0"), 4))] {
+		case RelAlias:
+			sawAlias = true
+			if r.Forest.NumRegions() != 2 || len(r.Forest) != 1 {
+				t.Fatalf("alias model shape: %v", r.Forest)
+			}
+		case RelSeparate:
+			sawSep = true
+			if len(r.Forest) != 2 {
+				t.Fatalf("separate model shape: %v", r.Forest)
+			}
+		}
+	}
+	if !sawAlias || !sawSep {
+		t.Fatalf("fork must cover alias and separate")
+	}
+}
+
+// TestExample38 replays Example 3.8 / Figure 2: the three stores produce
+// models including the two of Figure 2.
+func TestExample38(t *testing.T) {
+	o := topOracle()
+	cfg := DefaultConfig()
+	rdi := reg(expr.V("rdi0"), 8)
+	rsi4 := reg(expr.Add(expr.V("rsi0"), expr.Word(4)), 4)
+	rsi := reg(expr.V("rsi0"), 8)
+
+	models := []Forest{nil}
+	insert := func(r solver.Region) {
+		var next []Forest
+		seen := map[string]bool{}
+		for _, m := range models {
+			for _, res := range Ins(r, m, o, cfg) {
+				k := res.Forest.Key()
+				if !seen[k] {
+					seen[k] = true
+					next = append(next, res.Forest)
+				}
+			}
+		}
+		models = next
+	}
+	insert(rdi)
+	insert(rsi4)
+	insert(rsi)
+
+	// Figure 2a: one tree, node {rdi0, rsi0}, child [rsi0+4,4].
+	var saw2a, saw2b bool
+	for _, m := range models {
+		rels := m.Relations()
+		aliasTop := rels[relKeyStr(rdi, rsi, "≡")]
+		childIn := rels[relKeyStr2(rsi4, rsi, "⪯")]
+		sepTop := rels[relKeyStr(rdi, rsi, "⋈")]
+		if aliasTop && childIn {
+			saw2a = true
+		}
+		if sepTop && childIn {
+			saw2b = true
+		}
+	}
+	if !saw2a {
+		t.Errorf("Figure 2a model not produced; models: %v", models)
+	}
+	if !saw2b {
+		t.Errorf("Figure 2b model not produced; models: %v", models)
+	}
+	if len(models) > 6 {
+		t.Errorf("state explosion: %d models", len(models))
+	}
+}
+
+// relKeyStr2 is relKeyStr for the asymmetric ⪯.
+func relKeyStr2(a, b solver.Region, op string) string {
+	return regionKey(a) + " " + op + " " + regionKey(b)
+}
+
+func TestDestroyOnNoForkConfig(t *testing.T) {
+	o := topOracle()
+	cfg := DefaultConfig()
+	cfg.ForkUnknown = false
+	f := Forest{Leaf(reg(expr.V("rdi0"), 4)), Leaf(reg(rsp(-8), 8))}
+	res := Ins(reg(expr.V("rsi0"), 4), f, o, cfg)
+	if len(res) != 1 {
+		t.Fatalf("no-fork config must produce exactly one model, got %d", len(res))
+	}
+	rel := res[0].Rel
+	if rel[regionKey(reg(expr.V("rdi0"), 4))] != RelDestroyed {
+		t.Fatalf("unknown-relation region must be destroyed: %v", rel)
+	}
+	if rel[regionKey(reg(rsp(-8), 8))] != RelDestroyed {
+		// rsp0-8 vs rsi0 is also unknown; it must be destroyed as well.
+		t.Fatalf("stack region vs unknown pointer: %v", rel)
+	}
+}
+
+func TestRelationsOf(t *testing.T) {
+	o := topOracle()
+	cfg := DefaultConfig()
+	var f Forest
+	for _, r := range []solver.Region{reg(rsp(-16), 8), reg(rsp(-12), 4), reg(rsp(-24), 8)} {
+		res := Ins(r, f, o, cfg)
+		if len(res) != 1 {
+			t.Fatalf("deterministic insert expected")
+		}
+		f = res[0].Forest
+	}
+	rel := RelationsOf(f, reg(rsp(-12), 4))
+	if rel[regionKey(reg(rsp(-16), 8))] != RelEnclosedIn {
+		t.Errorf("parent: %v", rel)
+	}
+	if rel[regionKey(reg(rsp(-24), 8))] != RelSeparate {
+		t.Errorf("sibling: %v", rel)
+	}
+	rel = RelationsOf(f, reg(rsp(-16), 8))
+	if rel[regionKey(reg(rsp(-12), 4))] != RelEncloses {
+		t.Errorf("child: %v", rel)
+	}
+}
+
+func TestJoinIdentical(t *testing.T) {
+	f := Forest{Leaf(reg(rsp(-8), 8)), Leaf(reg(rsp(-16), 8))}
+	j := Join(f, f.Clone())
+	if j.Key() != f.Key() {
+		t.Fatalf("join of identical models: %v vs %v", j, f)
+	}
+}
+
+// TestJoinExample313 replays Example 3.13: two models with top [rdi0,8] and
+// different enclosed children join into one tree with both children.
+func TestJoinExample313(t *testing.T) {
+	top := reg(expr.V("rdi0"), 8)
+	m0 := Forest{{Regions: []solver.Region{top}, Kids: Forest{Leaf(reg(expr.V("rdi0"), 4))}}}
+	m1 := Forest{{Regions: []solver.Region{top}, Kids: Forest{Leaf(reg(expr.Add(expr.V("rdi0"), expr.Word(4)), 4))}}}
+	j := Join(m0, m1)
+	if len(j) != 1 {
+		t.Fatalf("one tree expected: %v", j)
+	}
+	if len(j[0].Regions) != 1 || regionKey(j[0].Regions[0]) != regionKey(top) {
+		t.Fatalf("top node: %v", j)
+	}
+	if len(j[0].Kids) != 2 {
+		t.Fatalf("both children expected as siblings: %v", j)
+	}
+}
+
+func TestJoinIntersectsAliasSets(t *testing.T) {
+	a, b, c := reg(expr.V("a"), 8), reg(expr.V("b"), 8), reg(expr.V("c"), 8)
+	m0 := Forest{{Regions: []solver.Region{a, b}}}
+	m1 := Forest{{Regions: []solver.Region{a, c}}}
+	j := Join(m0, m1)
+	if len(j) != 1 || len(j[0].Regions) != 1 || regionKey(j[0].Regions[0]) != regionKey(a) {
+		t.Fatalf("intersection must keep only the shared region: %v", j)
+	}
+}
+
+func TestJoinDisjointModels(t *testing.T) {
+	// Same-base one-sided trees encode geometric tautologies (stack slots
+	// at constant offsets are separate in every state) and survive the
+	// join.
+	m0 := Forest{Leaf(reg(rsp(-8), 8))}
+	m1 := Forest{Leaf(reg(rsp(-16), 8))}
+	j := Join(m0, m1)
+	if len(j) != 2 {
+		t.Fatalf("tautological stack regions must survive: %v", j)
+	}
+	// Contingent one-sided trees (cross-base relations) are dropped: a
+	// relation survives only when it holds in both disjuncts.
+	m2 := Forest{Leaf(reg(expr.V("rdi0"), 8)), Leaf(reg(rsp(-8), 8))}
+	m3 := Forest{Leaf(reg(rsp(-8), 8))}
+	j2 := Join(m2, m3)
+	if j2.HasRegion(reg(expr.V("rdi0"), 8)) {
+		t.Fatalf("contingent one-sided tree must be dropped: %v", j2)
+	}
+	if !j2.HasRegion(reg(rsp(-8), 8)) {
+		t.Fatalf("shared tree must survive: %v", j2)
+	}
+}
+
+func TestHoldsConcrete(t *testing.T) {
+	// Build {[rsp0-16,8] with child [rsp0-12,4], [rsp0-8,8]} and check it
+	// holds under a concrete rsp0.
+	o := topOracle()
+	cfg := DefaultConfig()
+	var f Forest
+	for _, r := range []solver.Region{reg(rsp(-16), 8), reg(rsp(-12), 4), reg(rsp(-8), 8)} {
+		res := Ins(r, f, o, cfg)
+		f = res[0].Forest
+	}
+	eval := func(e *expr.Expr) (uint64, bool) {
+		v := expr.Subst(e, "rsp0", expr.Word(0x7fff0000))
+		return v.AsWord()
+	}
+	if !f.Holds(eval) {
+		t.Fatalf("structured stack model must hold: %v", f)
+	}
+	// An inconsistent model: two "separate" siblings that concretely alias.
+	bad := Forest{Leaf(reg(expr.V("p"), 8)), Leaf(reg(expr.V("q"), 8))}
+	evalSame := func(e *expr.Expr) (uint64, bool) {
+		v := expr.Subst(expr.Subst(e, "p", expr.Word(0x1000)), "q", expr.Word(0x1000))
+		return v.AsWord()
+	}
+	if bad.Holds(evalSame) {
+		t.Fatal("aliasing siblings must not hold")
+	}
+}
+
+// TestQuickInsCompleteness is Lemma 3.11 in property form: for random
+// same-base stack layouts (where every relation is decided), insertion is
+// deterministic and the produced model's relations agree with concrete
+// geometry.
+func TestQuickInsCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	o := topOracle()
+	cfg := DefaultConfig()
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		var regions []solver.Region
+		var f Forest
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			off := -8 * int64(1+rng.Intn(8))
+			size := uint64(1) << uint(rng.Intn(4))
+			r := reg(rsp(off), size)
+			res := Ins(r, f, o, cfg)
+			if len(res) != 1 {
+				t.Fatalf("same-base insert must be deterministic: %d models for %v into %v", len(res), r, f)
+			}
+			f = res[0].Forest
+			regions = append(regions, r)
+		}
+		// The model must hold under a concrete valuation.
+		eval := func(e *expr.Expr) (uint64, bool) {
+			return expr.Subst(e, "rsp0", expr.Word(0x7ffff000)).AsWord()
+		}
+		if !f.Holds(eval) {
+			t.Fatalf("model does not hold concretely: %v (inserted %v)", f, regions)
+		}
+	}
+}
+
+func TestRelKindString(t *testing.T) {
+	kinds := []RelKind{RelSeparate, RelAlias, RelEnclosedIn, RelEncloses, RelDestroyed}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatal("empty relation name")
+		}
+	}
+}
+
+// TestQuickJoinSoundnessLemma314 is Lemma 3.14 in property form: any
+// concrete state satisfying either operand also satisfies the join.
+func TestQuickJoinSoundnessLemma314(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	o := topOracle()
+	cfg := DefaultConfig()
+	buildModel := func() Forest {
+		var f Forest
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			off := -8 * int64(1+rng.Intn(8))
+			size := uint64(4) << uint(rng.Intn(2))
+			res := Ins(reg(rsp(off), size), f, o, cfg)
+			f = res[0].Forest
+		}
+		return f
+	}
+	eval := func(e *expr.Expr) (uint64, bool) {
+		return expr.Subst(e, "rsp0", expr.Word(0x7ffff000)).AsWord()
+	}
+	for trial := 0; trial < 150; trial++ {
+		m0 := buildModel()
+		m1 := buildModel()
+		j := Join(m0, m1)
+		// Same-base models always hold concretely; so must their join.
+		if !m0.Holds(eval) || !m1.Holds(eval) {
+			t.Fatalf("trial %d: operand model does not hold", trial)
+		}
+		if !j.Holds(eval) {
+			t.Fatalf("trial %d: join does not hold:\n m0=%v\n m1=%v\n j=%v", trial, m0, m1, j)
+		}
+		// Join is commutative up to keys.
+		if Join(m1, m0).Key() != j.Key() {
+			t.Fatalf("trial %d: join not commutative", trial)
+		}
+	}
+}

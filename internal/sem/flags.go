@@ -1,0 +1,271 @@
+package sem
+
+import (
+	"math/bits"
+
+	"repro/internal/expr"
+	"repro/internal/pred"
+	"repro/internal/solver"
+	"repro/internal/x86"
+)
+
+// setFlagsCmp installs the flag-defining comparison for cmp/sub: the flags
+// are those of lhs − rhs at the given width.
+func setFlagsCmp(st *State, lhs, rhs *expr.Expr, size int) {
+	st.Pred.SetCmp(&pred.Cmp{Kind: pred.CmpSub, Lhs: lhs, Rhs: rhs, Size: size})
+}
+
+// setFlagsLogic installs the flag-defining comparison for test/and/or/xor:
+// the flags are those of the logical result (CF = OF = 0).
+func setFlagsLogic(st *State, res *expr.Expr, size int) {
+	st.Pred.SetCmp(&pred.Cmp{Kind: pred.CmpAnd, Lhs: res, Rhs: expr.Word(0), Size: size})
+}
+
+// signBit returns the sign-bit mask for a width in bytes.
+func signBit(size int) uint64 { return 1 << (uint(size)*8 - 1) }
+
+// maxU returns the maximum unsigned value for a width in bytes.
+func maxU(size int) uint64 {
+	if size >= 8 {
+		return ^uint64(0)
+	}
+	return 1<<(uint(size)*8) - 1
+}
+
+// concreteFlags evaluates the five flags of a concrete comparison.
+func concreteFlags(c *pred.Cmp, a, b uint64) map[x86.Flag]bool {
+	mask := maxU(c.Size)
+	a &= mask
+	b &= mask
+	var res uint64
+	fl := map[x86.Flag]bool{}
+	switch c.Kind {
+	case pred.CmpSub:
+		res = (a - b) & mask
+		fl[x86.CF] = a < b
+		sa, sb, sr := a&signBit(c.Size) != 0, b&signBit(c.Size) != 0, res&signBit(c.Size) != 0
+		fl[x86.OF] = sa != sb && sr != sa
+	default: // logical: CF = OF = 0, value compared against zero
+		res = a & mask
+		fl[x86.CF] = false
+		fl[x86.OF] = false
+	}
+	fl[x86.ZF] = res == 0
+	fl[x86.SF] = res&signBit(c.Size) != 0
+	fl[x86.PF] = bits.OnesCount8(uint8(res))%2 == 0
+	return fl
+}
+
+// condFromFlags evaluates a condition code from concrete flags.
+func condFromFlags(cc x86.Cond, fl map[x86.Flag]bool) bool {
+	var v bool
+	switch cc &^ 1 {
+	case x86.CondO:
+		v = fl[x86.OF]
+	case x86.CondB:
+		v = fl[x86.CF]
+	case x86.CondE:
+		v = fl[x86.ZF]
+	case x86.CondBE:
+		v = fl[x86.CF] || fl[x86.ZF]
+	case x86.CondS:
+		v = fl[x86.SF]
+	case x86.CondP:
+		v = fl[x86.PF]
+	case x86.CondL:
+		v = fl[x86.SF] != fl[x86.OF]
+	case x86.CondLE:
+		v = fl[x86.ZF] || fl[x86.SF] != fl[x86.OF]
+	}
+	if cc&1 != 0 {
+		v = !v
+	}
+	return v
+}
+
+// evalCond decides a condition code under the predicate: Yes (always
+// taken), No (never), or Maybe.
+func evalCond(p *pred.Pred, cc x86.Cond) solver.Verdict {
+	// Individual flag clauses (e.g. CF set by bt) decide directly.
+	if v, ok := condFromFlagClauses(p, cc); ok {
+		if v {
+			return solver.Yes
+		}
+		return solver.No
+	}
+	c := p.LastCmp()
+	if c == nil {
+		return solver.Maybe
+	}
+	// Fully concrete comparison.
+	if a, ok := c.Lhs.AsWord(); ok {
+		if b, ok := c.Rhs.AsWord(); ok {
+			if condFromFlags(cc, concreteFlags(c, a, b)) {
+				return solver.Yes
+			}
+			return solver.No
+		}
+	}
+	// Syntactically identical operands: the comparison is x ⊖ x = 0, so
+	// every flag is known even though x itself is not.
+	if c.Kind == pred.CmpSub && c.Lhs.Equal(c.Rhs) {
+		if condFromFlags(cc, concreteFlags(c, 1, 1)) {
+			return solver.Yes
+		}
+		return solver.No
+	}
+	// Interval left operand vs constant right operand.
+	b, ok := c.Rhs.AsWord()
+	if !ok {
+		return solver.Maybe
+	}
+	b &= maxU(c.Size)
+	r, ok := p.RangeOf(c.Lhs)
+	if !ok || r.Hi > maxU(c.Size) {
+		return solver.Maybe
+	}
+	type iv = pred.Range
+	decide := func(yes, no bool) solver.Verdict {
+		switch {
+		case yes:
+			return solver.Yes
+		case no:
+			return solver.No
+		default:
+			return solver.Maybe
+		}
+	}
+	if c.Kind == pred.CmpSub {
+		switch cc {
+		case x86.CondA:
+			return decide(r.Lo > b, r.Hi <= b)
+		case x86.CondAE:
+			return decide(r.Lo >= b, r.Hi < b)
+		case x86.CondB:
+			return decide(r.Hi < b, r.Lo >= b)
+		case x86.CondBE:
+			return decide(r.Hi <= b, r.Lo > b)
+		case x86.CondE:
+			return decide(r == iv{Lo: b, Hi: b}, !r.Contains(b))
+		case x86.CondNE:
+			return decide(!r.Contains(b), r == iv{Lo: b, Hi: b})
+		}
+		// Signed comparisons agree with unsigned ones when both sides
+		// stay below the sign bit.
+		if r.Hi < signBit(c.Size) && b < signBit(c.Size) {
+			switch cc {
+			case x86.CondG:
+				return decide(r.Lo > b, r.Hi <= b)
+			case x86.CondGE:
+				return decide(r.Lo >= b, r.Hi < b)
+			case x86.CondL:
+				return decide(r.Hi < b, r.Lo >= b)
+			case x86.CondLE:
+				return decide(r.Hi <= b, r.Lo > b)
+			case x86.CondS:
+				return solver.No
+			case x86.CondNS:
+				return solver.Yes
+			}
+		}
+		return solver.Maybe
+	}
+	// Logical comparison against zero.
+	switch cc {
+	case x86.CondE:
+		return decide(r == iv{}, !r.Contains(0))
+	case x86.CondNE:
+		return decide(!r.Contains(0), r == iv{})
+	case x86.CondS:
+		return decide(r.Lo >= signBit(c.Size), r.Hi < signBit(c.Size))
+	case x86.CondNS:
+		return decide(r.Hi < signBit(c.Size), r.Lo >= signBit(c.Size))
+	}
+	return solver.Maybe
+}
+
+// condFlagDeps lists the flags each base condition reads.
+var condFlagDeps = map[x86.Cond][]x86.Flag{
+	x86.CondO:  {x86.OF},
+	x86.CondB:  {x86.CF},
+	x86.CondE:  {x86.ZF},
+	x86.CondBE: {x86.CF, x86.ZF},
+	x86.CondS:  {x86.SF},
+	x86.CondP:  {x86.PF},
+	x86.CondL:  {x86.SF, x86.OF},
+	x86.CondLE: {x86.ZF, x86.SF, x86.OF},
+}
+
+// condFromFlagClauses decides a condition from individual constant flag
+// clauses, when all flags the condition reads are known.
+func condFromFlagClauses(p *pred.Pred, cc x86.Cond) (bool, bool) {
+	fl := map[x86.Flag]bool{}
+	for _, f := range condFlagDeps[cc&^1] {
+		e := p.Flag(f)
+		if e == nil {
+			return false, false
+		}
+		w, ok := e.AsWord()
+		if !ok {
+			return false, false
+		}
+		fl[f] = w != 0
+	}
+	return condFromFlags(cc, fl), true
+}
+
+// refineBranch strengthens the predicate with the knowledge that condition
+// cc evaluated to taken — the branch refinement that lets the successor of
+// "cmp eax, 0xc3; ja" prove the jump-table bound (Section 2). Only
+// interval-expressible constraints are added; everything else is soundly
+// skipped.
+func refineBranch(st *State, cc x86.Cond, taken bool) {
+	c := st.Pred.LastCmp()
+	if c == nil {
+		return
+	}
+	if !taken {
+		cc = cc.Negate()
+	}
+	b, ok := c.Rhs.AsWord()
+	if !ok {
+		return
+	}
+	b &= maxU(c.Size)
+	e := c.Lhs
+	if _, isConst := e.AsWord(); isConst {
+		return
+	}
+	add := func(lo, hi uint64) { st.Pred.AddRange(e, pred.Range{Lo: lo, Hi: hi}) }
+	if c.Kind == pred.CmpSub {
+		switch cc {
+		case x86.CondA:
+			if b < maxU(c.Size) {
+				add(b+1, maxU(c.Size))
+			}
+		case x86.CondAE:
+			add(b, maxU(c.Size))
+		case x86.CondB:
+			if b > 0 {
+				add(0, b-1)
+			}
+		case x86.CondBE:
+			add(0, b)
+		case x86.CondE:
+			add(b, b)
+		case x86.CondG:
+			if b < signBit(c.Size)-1 {
+				add(b+1, signBit(c.Size)-1)
+			}
+		case x86.CondGE:
+			if b < signBit(c.Size) {
+				add(b, signBit(c.Size)-1)
+			}
+		}
+		return
+	}
+	// test x, x; je — the equal branch knows x = 0.
+	if cc == x86.CondE && c.Lhs.Equal(c.Rhs) || cc == x86.CondE && b == 0 {
+		add(0, 0)
+	}
+}

@@ -1,0 +1,214 @@
+package sem
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/image"
+	"repro/internal/memmodel"
+	"repro/internal/solver"
+	"repro/internal/x86"
+)
+
+// Config tunes the predicate transformer.
+type Config struct {
+	// MM configures memory-model insertion (forking / destroying).
+	MM memmodel.Config
+	// MaxTableEntries bounds jump-table enumeration: a bounded read from
+	// read-only data produces one successor per entry up to this count.
+	MaxTableEntries int
+	// AssumeBaseSeparation enables the paper's implicit assumptions:
+	// regions whose addresses share no symbolic base (stack vs arguments
+	// vs globals) are assumed separate, and each such assumption is
+	// recorded and exported as a proof obligation.
+	AssumeBaseSeparation bool
+}
+
+// DefaultConfig returns the configuration matching the paper's algorithm.
+func DefaultConfig() Config {
+	return Config{
+		MM:                   memmodel.DefaultConfig(),
+		MaxTableEntries:      256,
+		AssumeBaseSeparation: true,
+	}
+}
+
+// Machine symbolically executes instructions over symbolic states. It
+// accumulates the implicit assumptions made (separation between pointer
+// provenances) — "each and any implicit assumption made during HG
+// generation is formalized and exported" (§5.2).
+type Machine struct {
+	Img *image.Image
+	Cfg Config
+
+	assumptions map[string]bool
+	curAddr     uint64
+	nfresh      int
+}
+
+// NewMachine returns a machine over the image.
+func NewMachine(img *image.Image, cfg Config) *Machine {
+	return &Machine{Img: img, Cfg: cfg, assumptions: map[string]bool{}}
+}
+
+// Assumptions returns the recorded separation assumptions, sorted.
+func (m *Machine) Assumptions() []string {
+	out := make([]string, 0, len(m.assumptions))
+	for a := range m.assumptions {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResetAssumptions clears the recorded assumptions (used between
+// functions).
+func (m *Machine) ResetAssumptions() { m.assumptions = map[string]bool{} }
+
+func (m *Machine) assume(text string) { m.assumptions[text] = true }
+
+// fresh returns a deterministic fresh variable: names depend only on the
+// instruction address and the allocation sequence within the step, so an
+// independent re-execution of the same instruction on the same state (the
+// Step-2 triple checker) produces identical postconditions.
+func (m *Machine) fresh() *expr.Expr {
+	v := expr.V(expr.Var(fmt.Sprintf("v%x_%d", m.curAddr, m.nfresh)))
+	m.nfresh++
+	return v
+}
+
+// oracle adapts the solver to memory-model insertion, adding the
+// provenance-separation assumptions of the paper.
+type oracle struct {
+	m *Machine
+	s *State
+}
+
+// Compare answers a necessarily-relation query; undecided cross-provenance
+// pairs are assumed separate (recorded as a proof obligation).
+func (o oracle) Compare(r0, r1 solver.Region) solver.Result {
+	res := solver.Compare(o.s.Pred, r0, r1)
+	if res.Decided() || !o.m.Cfg.AssumeBaseSeparation {
+		return res
+	}
+	// The paper's implicit assumption covers only the local stack frame:
+	// pointers not derived from rsp0 (arguments, globals, loaded values)
+	// are assumed not to reach into it. Two non-stack pointers (e.g. the
+	// rdi/rsi pair of Section 2) are never assumed apart — their unknown
+	// relation forks the memory model.
+	if stackBased(r0.Addr) != stackBased(r1.Addr) && disjointAtoms(r0.Addr, r1.Addr) {
+		o.m.assume(fmt.Sprintf("@%x : [%s, %d] ASSUMED SEPARATE FROM [%s, %d]",
+			o.m.curAddr, r0.Addr, r0.Size, r1.Addr, r1.Size))
+		return solver.Result{Separate: solver.Yes,
+			Alias: solver.No, Enclosed: solver.No, Encloses: solver.No, Partial: solver.No}
+	}
+	return res
+}
+
+// disjointAtoms reports whether the linear forms of the two addresses share
+// no symbolic atom. Addresses sharing a base (e.g. rsp0 and rsp0+8·i) are
+// never assumed apart — that is exactly the unknown-stack-offset case the
+// paper rejects functions for. An address with no atoms (a global
+// constant) counts as the distinguished "global" provenance.
+func disjointAtoms(a0, a1 *expr.Expr) bool {
+	atoms := func(a *expr.Expr) map[string]bool {
+		s := map[string]bool{}
+		expr.ToLinear(a).Terms(func(atom *expr.Expr, _ uint64) {
+			s[atom.Key()] = true
+		})
+		return s
+	}
+	s0, s1 := atoms(a0), atoms(a1)
+	for k := range s0 {
+		if s1[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// valState pairs a forked state with the value read in it.
+type valState struct {
+	st *State
+	v  *expr.Expr
+}
+
+// regVal reads a register at the given width, materialising a deterministic
+// fresh variable for unconstrained registers so later reads agree.
+func (m *Machine) regVal(st *State, r x86.Reg, size int) *expr.Expr {
+	full := st.Pred.Reg(r)
+	if full == nil {
+		full = m.fresh()
+		st.Pred.SetReg(r, full)
+	}
+	return expr.ZExt(full, size)
+}
+
+// writeReg writes a value of the given width into a register with x86
+// merge semantics: 64-bit replaces, 32-bit zero-extends, 8/16-bit merges
+// into the low bits.
+func (m *Machine) writeReg(st *State, r x86.Reg, size int, val *expr.Expr) {
+	switch size {
+	case 8:
+		st.Pred.SetReg(r, val)
+	case 4:
+		st.Pred.SetReg(r, expr.ZExt(val, 4))
+	default:
+		old := m.regVal(st, r, 8)
+		mask := expr.Mask8
+		if size == 2 {
+			mask = expr.Mask16
+		}
+		merged := expr.Or(expr.And(old, expr.Word(^mask)), expr.And(val, expr.Word(mask)))
+		st.Pred.SetReg(r, merged)
+	}
+}
+
+// addrOf evaluates a memory operand's address to a constant expression
+// (never ⊥ thanks to register materialisation; cf. Definition 4.2's eval).
+func (m *Machine) addrOf(st *State, o x86.Operand) *expr.Expr {
+	if o.Base == x86.RIP {
+		return expr.Word(uint64(o.Disp))
+	}
+	parts := []*expr.Expr{expr.Word(uint64(o.Disp))}
+	if o.Base != x86.RegNone {
+		parts = append(parts, m.regVal(st, o.Base, 8))
+	}
+	if o.Index != x86.RegNone {
+		idx := m.regVal(st, o.Index, 8)
+		parts = append(parts, expr.Mul(expr.Word(uint64(o.Scale)), idx))
+	}
+	return expr.Add(parts...)
+}
+
+// rval evaluates an operand, forking the state on memory reads.
+func (m *Machine) rval(st *State, o x86.Operand) []valState {
+	switch o.Kind {
+	case x86.OpImm:
+		// Immediates were sign-extended to 64 bits at decode time, which
+		// matches x86 semantics for every consumer; width masking happens
+		// at the operation.
+		return []valState{{st, expr.Word(uint64(o.Imm))}}
+	case x86.OpReg:
+		return []valState{{st, m.regVal(st, o.Reg, o.Size)}}
+	case x86.OpMem:
+		addr := m.addrOf(st, o)
+		return m.readMem(st, addr, o.Size)
+	}
+	return []valState{{st, m.fresh()}}
+}
+
+// writeOp writes a value to an operand, forking the state on memory
+// writes.
+func (m *Machine) writeOp(st *State, o x86.Operand, val *expr.Expr) []*State {
+	switch o.Kind {
+	case x86.OpReg:
+		m.writeReg(st, o.Reg, o.Size, val)
+		return []*State{st}
+	case x86.OpMem:
+		addr := m.addrOf(st, o)
+		return m.writeMem(st, addr, o.Size, val)
+	}
+	return []*State{st}
+}

@@ -1,0 +1,266 @@
+package solver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+	"repro/internal/pred"
+)
+
+func rsp(off int64) *expr.Expr {
+	return expr.Add(expr.V("rsp0"), expr.Word(uint64(off)))
+}
+
+func TestExactSameBase(t *testing.T) {
+	p := pred.New()
+	cases := []struct {
+		name   string
+		r0, r1 Region
+		check  func(Result) bool
+	}{
+		{"alias", Region{rsp(-8), 8}, Region{rsp(-8), 8},
+			func(r Result) bool { return r.Alias == Yes && r.Separate == No }},
+		{"separate-below", Region{rsp(-16), 8}, Region{rsp(-8), 8},
+			func(r Result) bool { return r.Separate == Yes }},
+		{"separate-above", Region{rsp(0), 8}, Region{rsp(-8), 8},
+			func(r Result) bool { return r.Separate == Yes }},
+		{"adjacent", Region{rsp(-4), 4}, Region{rsp(0), 4},
+			func(r Result) bool { return r.Separate == Yes }},
+		{"enclosed", Region{rsp(4), 4}, Region{rsp(0), 8},
+			func(r Result) bool { return r.Enclosed == Yes }},
+		{"enclosed-prefix", Region{rsp(0), 4}, Region{rsp(0), 8},
+			func(r Result) bool { return r.Enclosed == Yes && r.Alias == No }},
+		{"encloses", Region{rsp(0), 8}, Region{rsp(4), 4},
+			func(r Result) bool { return r.Encloses == Yes }},
+		{"partial", Region{rsp(4), 8}, Region{rsp(0), 8},
+			func(r Result) bool { return r.Partial == Yes && r.Separate == No }},
+	}
+	for _, c := range cases {
+		got := Compare(p, c.r0, c.r1)
+		if !c.check(got) {
+			t.Errorf("%s: %+v", c.name, got)
+		}
+	}
+}
+
+func TestUnknownBases(t *testing.T) {
+	p := pred.New()
+	// rdi0 vs rsi0: nothing derivable.
+	r := Compare(p, Region{expr.V("rdi0"), 8}, Region{expr.V("rsi0"), 8})
+	if r.Alias != Maybe || r.Separate != Maybe || r.Partial != Maybe {
+		t.Fatalf("cross-base must be undecided: %+v", r)
+	}
+	if r.Decided() {
+		t.Fatal("Decided must be false")
+	}
+}
+
+func TestIntervalDifference(t *testing.T) {
+	p := pred.New()
+	idx := expr.V("i")
+	p.AddRange(idx, pred.Range{Lo: 0, Hi: 3})
+	// [rsp0 - 0x40 + 8·i, 8] vs the return address slot [rsp0, 8]:
+	// the write stays within [rsp0-0x40, rsp0-0x28], necessarily separate.
+	w := Region{expr.Add(rsp(-0x40), expr.Mul(expr.Word(8), idx)), 8}
+	ra := Region{rsp(0), 8}
+	r := Compare(p, w, ra)
+	if r.Separate != Yes {
+		t.Fatalf("bounded array write must be separate from return address: %+v", r)
+	}
+	// With i ∈ [0, 8] the write at i=8 reaches rsp0 exactly: not separate.
+	p2 := pred.New()
+	p2.AddRange(idx, pred.Range{Lo: 0, Hi: 8})
+	r = Compare(p2, w, ra)
+	if r.Separate == Yes {
+		t.Fatalf("out-of-bounds index must not be proven separate: %+v", r)
+	}
+	// Unbounded index: everything Maybe.
+	p3 := pred.New()
+	r = Compare(p3, w, ra)
+	if r.Separate != Maybe {
+		t.Fatalf("unbounded index: %+v", r)
+	}
+}
+
+func TestIntervalEnclosure(t *testing.T) {
+	p := pred.New()
+	idx := expr.V("i")
+	p.AddRange(idx, pred.Range{Lo: 0, Hi: 3})
+	// 1-byte accesses at rsp0-16+i are enclosed in [rsp0-16, 8].
+	b := Region{expr.Add(rsp(-16), idx), 1}
+	buf := Region{rsp(-16), 8}
+	r := Compare(p, b, buf)
+	if r.Enclosed != Yes {
+		t.Fatalf("bounded byte access must be enclosed: %+v", r)
+	}
+	if got := Compare(p, buf, b); got.Encloses != Yes {
+		t.Fatalf("converse enclosure: %+v", got)
+	}
+}
+
+func TestNegativeCoefficient(t *testing.T) {
+	p := pred.New()
+	idx := expr.V("i")
+	p.AddRange(idx, pred.Range{Lo: 0, Hi: 2})
+	// rsp0 - 8·i for i ∈ [0,2] spans [rsp0-16, rsp0]; vs [rsp0+8, 8]:
+	// separate (hi = 0, 0 + 8 ≤ 8).
+	w := Region{expr.Sub(expr.V("rsp0"), expr.Mul(expr.Word(8), idx)), 8}
+	r := Compare(p, w, Region{rsp(8), 8})
+	if r.Separate != Yes {
+		t.Fatalf("negative coefficient separation: %+v", r)
+	}
+	// vs [rsp0, 8]: i=0 aliases, i>0 separate — undecided.
+	r = Compare(p, w, Region{rsp(0), 8})
+	if r.Separate == Yes || r.Alias == Yes {
+		t.Fatalf("must be undecided: %+v", r)
+	}
+}
+
+func TestGlobalVsGlobal(t *testing.T) {
+	p := pred.New()
+	r := Compare(p, Region{expr.Word(0x601000), 8}, Region{expr.Word(0x601010), 16})
+	if r.Separate != Yes {
+		t.Fatalf("distinct globals: %+v", r)
+	}
+	r = Compare(p, Region{expr.Word(0x601004), 4}, Region{expr.Word(0x601000), 8})
+	if r.Enclosed != Yes {
+		t.Fatalf("global enclosure: %+v", r)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if d, ok := SameBaseDistance(rsp(-8), rsp(-32)); !ok || d != 24 {
+		t.Fatalf("distance: %d %v", d, ok)
+	}
+	if _, ok := SameBaseDistance(expr.V("rdi0"), expr.V("rsi0")); ok {
+		t.Fatal("cross-base distance must fail")
+	}
+	if b, ok := BaseAtom(rsp(-8)); !ok || !b.Equal(expr.V("rsp0")) {
+		t.Fatalf("base atom: %v %v", b, ok)
+	}
+	if _, ok := BaseAtom(expr.Mul(expr.Word(2), expr.V("x"))); ok {
+		t.Fatal("scaled atom is not a base")
+	}
+	if _, ok := BaseAtom(expr.Word(5)); ok {
+		t.Fatal("constant has no base atom")
+	}
+	if Yes.String() != "yes" || No.String() != "no" || Maybe.String() != "maybe" {
+		t.Fatal("verdict strings")
+	}
+}
+
+// Property: for same-base constant offsets, the solver verdict matches a
+// concrete evaluation of Definition 3.6 — and exactly one relation is Yes.
+func TestQuickExactMatchesConcrete(t *testing.T) {
+	f := func(off0, off1 int16, s0, s1 uint8) bool {
+		n0 := uint64(s0%32) + 1
+		n1 := uint64(s1%32) + 1
+		r0 := Region{rsp(int64(off0)), n0}
+		r1 := Region{rsp(int64(off1)), n1}
+		got := Compare(pred.New(), r0, r1)
+
+		e0, e1 := int64(off0), int64(off1)
+		sep := e0+int64(n0) <= e1 || e1+int64(n1) <= e0
+		alias := e0 == e1 && n0 == n1
+		encd := !alias && e0 >= e1 && e0+int64(n0) <= e1+int64(n1)
+		encs := !alias && e1 >= e0 && e1+int64(n1) <= e0+int64(n0)
+		partial := !sep && !alias && !encd && !encs
+
+		count := 0
+		for _, v := range []Verdict{got.Alias, got.Separate, got.Enclosed, got.Encloses, got.Partial} {
+			if v == Yes {
+				count++
+			}
+		}
+		return count == 1 &&
+			(got.Separate == Yes) == sep &&
+			(got.Alias == Yes) == alias &&
+			(got.Enclosed == Yes) == encd &&
+			(got.Encloses == Yes) == encs &&
+			(got.Partial == Yes) == partial
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interval verdicts are sound — a Yes/No never contradicts any
+// concrete index in the interval.
+func TestQuickIntervalSoundness(t *testing.T) {
+	f := func(lo8, width8 uint8, base int16) bool {
+		lo := uint64(lo8 % 16)
+		hi := lo + uint64(width8%8)
+		p := pred.New()
+		idx := expr.V("i")
+		p.AddRange(idx, pred.Range{Lo: lo, Hi: hi})
+		r0 := Region{expr.Add(rsp(int64(base)), expr.Mul(expr.Word(4), idx)), 4}
+		r1 := Region{rsp(0), 8}
+		got := Compare(p, r0, r1)
+
+		for i := lo; i <= hi; i++ {
+			e0 := int64(base) + 4*int64(i)
+			sep := e0+4 <= 0 || 8 <= e0
+			if got.Separate == Yes && !sep {
+				return false
+			}
+			if got.Separate == No && sep {
+				return false
+			}
+			encd := e0 >= 0 && e0+4 <= 8
+			if got.Enclosed == Yes && !encd {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeRefinementOnUnknownBases(t *testing.T) {
+	p := pred.New()
+	// 4-byte vs 8-byte regions with unknown bases: aliasing requires equal
+	// sizes, and an 8-byte region cannot be enclosed in a 4-byte one.
+	r := Compare(p, Region{expr.V("a"), 4}, Region{expr.V("b"), 8})
+	if r.Alias != No {
+		t.Fatalf("alias with different sizes: %v", r.Alias)
+	}
+	if r.Encloses != No {
+		t.Fatalf("larger inside smaller: %v", r.Encloses)
+	}
+	if r.Enclosed != Maybe || r.Separate != Maybe {
+		t.Fatalf("undecided relations: %+v", r)
+	}
+	// Same sizes: strict enclosure is impossible either way.
+	r = Compare(p, Region{expr.V("a"), 8}, Region{expr.V("b"), 8})
+	if r.Enclosed != No || r.Encloses != No {
+		t.Fatalf("same-size enclosure: %+v", r)
+	}
+	if r.Alias != Maybe || r.Separate != Maybe || r.Partial != Maybe {
+		t.Fatalf("same-size unknown: %+v", r)
+	}
+}
+
+func TestCompareWithMaskedIndex(t *testing.T) {
+	// Masked index: addr = rsp0 - 0x40 + 8·(i & 7) is bounded by the
+	// intrinsic mask range even without explicit clauses.
+	p := pred.New()
+	masked := expr.And(expr.V("i"), expr.Word(7))
+	w := Region{expr.Add(rsp(-0x40), expr.Mul(expr.Word(8), masked)), 8}
+	r := Compare(p, w, Region{rsp(0), 8})
+	if r.Separate != Yes {
+		t.Fatalf("masked write must be separate from the return address: %+v", r)
+	}
+}
+
+func TestDecidedHelper(t *testing.T) {
+	p := pred.New()
+	if !Compare(p, Region{rsp(0), 8}, Region{rsp(-8), 8}).Decided() {
+		t.Fatal("exact geometry must be decided")
+	}
+	if Compare(p, Region{expr.V("p"), 8}, Region{expr.V("q"), 8}).Decided() {
+		t.Fatal("cross-base must be undecided")
+	}
+}

@@ -1,0 +1,95 @@
+package triple
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hoare"
+)
+
+// ExportTheory renders the Hoare graph as an Isabelle/HOL-style theory
+// file: one definition per vertex invariant and one lemma per vertex
+// stating that the invariant, as a precondition of the instruction at that
+// address, establishes the disjunction of its successors' invariants. Each
+// lemma is discharged by the htriple proof method — the tailored symbolic
+// execution script of the paper. The text is what the paper's Step 2
+// exports; this repository's independent checker (CheckGraph) plays the
+// role of the prover.
+func ExportTheory(g *hoare.Graph, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "theory %s\n  imports X86_Semantics.StateCleanUp\nbegin\n\n", sanitizeThy(name))
+	fmt.Fprintf(&b, "(* Hoare graph of %s @ %#x; return symbol %s *)\n\n", g.FuncName, g.FuncAddr, g.RetSym)
+
+	vertices := g.SortedVertices()
+	for _, v := range vertices {
+		if v.State == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "definition P_%s :: \"state \\<Rightarrow> bool\" where\n", sanitizeThy(string(v.ID)))
+		clauses := v.State.Pred.Clauses()
+		if len(clauses) == 0 {
+			fmt.Fprintf(&b, "  \"P_%s s \\<equiv> True\"\n\n", sanitizeThy(string(v.ID)))
+			continue
+		}
+		fmt.Fprintf(&b, "  \"P_%s s \\<equiv>\n", sanitizeThy(string(v.ID)))
+		for i, c := range clauses {
+			sep := " \\<and>"
+			if i == len(clauses)-1 {
+				sep = "\""
+			}
+			fmt.Fprintf(&b, "     (%s)%s\n", c, sep)
+		}
+		fmt.Fprintf(&b, "  (* memory model: %s *)\n\n", v.State.Mem)
+	}
+
+	for _, v := range vertices {
+		if v.State == nil {
+			continue
+		}
+		inst, ok := g.Instrs[v.Addr]
+		if !ok {
+			continue
+		}
+		var posts []string
+		for _, to := range g.Successors(v.ID) {
+			switch to {
+			case hoare.ExitID:
+				posts = append(posts, fmt.Sprintf("(RIP s' = %s \\<and> RSP s' = RSP\\<^sub>0 + 8)", g.RetSym))
+			case hoare.HaltID:
+				posts = append(posts, "halted s'")
+			default:
+				posts = append(posts, fmt.Sprintf("P_%s s'", sanitizeThy(string(to))))
+			}
+		}
+		if len(posts) == 0 {
+			posts = []string{"True (* annotated: no bounded successors *)"}
+		}
+		fmt.Fprintf(&b, "lemma hoare_%s: (* %s *)\n", sanitizeThy(string(v.ID)), inst.String())
+		fmt.Fprintf(&b, "  assumes \"P_%s s\" and \"s' = step_%x s\"\n", sanitizeThy(string(v.ID)), v.Addr)
+		fmt.Fprintf(&b, "  shows \"%s\"\n", strings.Join(posts, " \\<or> "))
+		fmt.Fprintf(&b, "  using assms by htriple\n\n")
+	}
+
+	for _, o := range g.Obligations {
+		fmt.Fprintf(&b, "(* proof obligation: %s *)\n", o)
+	}
+	for _, a := range g.Assumptions {
+		fmt.Fprintf(&b, "(* assumption: %s *)\n", a)
+	}
+	b.WriteString("\nend\n")
+	return b.String()
+}
+
+// sanitizeThy makes an identifier Isabelle-friendly.
+func sanitizeThy(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

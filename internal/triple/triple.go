@@ -1,0 +1,389 @@
+// Package triple implements Step 2 of the paper: independent verification
+// of the extracted Hoare graph. Each vertex yields one theorem — the
+// invariant of the vertex, as precondition of the instruction at its
+// address, establishes the disjunction of its successors' invariants. The
+// theorems are mutually independent and are checked in parallel, each by
+// symbolically executing the instruction's formal semantics on the
+// precondition and proving entailment of a successor invariant (the
+// paper's tailored Isabelle/HOL proof scripts; here a from-scratch checker
+// whose only shared trust base with Step 1 is the instruction semantics,
+// which are themselves validated against a concrete emulator).
+package triple
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/hoare"
+	"repro/internal/image"
+	"repro/internal/memmodel"
+	"repro/internal/pred"
+	"repro/internal/sem"
+	"repro/internal/x86"
+)
+
+// Verdict classifies one theorem.
+type Verdict uint8
+
+// The theorem outcomes.
+const (
+	Proven  Verdict = iota // all outcomes entail some successor invariant
+	Assumed                // the vertex carries an annotation: nothing to prove
+	Failed
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Proven:
+		return "proven"
+	case Assumed:
+		return "assumed"
+	default:
+		return "FAILED"
+	}
+}
+
+// Theorem is the checking result for one vertex.
+type Theorem struct {
+	Vertex  hoare.VertexID
+	Addr    uint64
+	Verdict Verdict
+	Reason  string
+}
+
+// Report summarises checking one graph.
+type Report struct {
+	Func     string
+	Theorems []Theorem
+	Proven   int
+	Assumed  int
+	Failed   int
+}
+
+// AllProven reports whether every theorem was proven or explicitly
+// assumed.
+func (r *Report) AllProven() bool { return r.Failed == 0 }
+
+// CheckGraph re-verifies every vertex of the graph, independently and in
+// parallel across the given number of workers.
+func CheckGraph(img *image.Image, g *hoare.Graph, cfg sem.Config, workers int) *Report {
+	vertices := g.SortedVertices()
+	rep := &Report{Func: g.FuncName, Theorems: make([]Theorem, len(vertices))}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int, len(vertices))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rep.Theorems[i] = checkVertex(img, g, cfg, vertices[i])
+			}
+		}()
+	}
+	for i := range vertices {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, th := range rep.Theorems {
+		switch th.Verdict {
+		case Proven:
+			rep.Proven++
+		case Assumed:
+			rep.Assumed++
+		default:
+			rep.Failed++
+		}
+	}
+	return rep
+}
+
+// annotatedAt reports whether the instruction at addr carries an
+// unsoundness annotation.
+func annotatedAt(g *hoare.Graph, addr uint64) bool {
+	for _, a := range g.Annotations {
+		if a.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// checkVertex proves the one-step-inductive theorem of a single vertex:
+// {inv(v)} inst(v) {∨ inv(succ)}. Every shared artefact is recomputed: the
+// instruction is re-fetched from the binary's bytes and re-executed by a
+// fresh machine.
+func checkVertex(img *image.Image, g *hoare.Graph, cfg sem.Config, v *hoare.Vertex) Theorem {
+	th := Theorem{Vertex: v.ID, Addr: v.Addr}
+	if v.ID == hoare.ExitID || v.ID == hoare.HaltID {
+		th.Verdict = Proven
+		th.Reason = "terminal vertex"
+		return th
+	}
+	inst, err := img.Fetch(v.Addr)
+	if err != nil {
+		th.Verdict = Failed
+		th.Reason = fmt.Sprintf("re-fetch: %v", err)
+		return th
+	}
+
+	// Successor invariants, grouped by vertex.
+	succs := map[hoare.VertexID]*hoare.Vertex{}
+	for _, e := range g.Edges {
+		if e.From == v.ID {
+			succs[e.To] = g.Vertices[e.To]
+		}
+	}
+
+	m := sem.NewMachine(img, cfg)
+	outs, err := m.Step(v.State, inst)
+	if err != nil {
+		th.Verdict = Failed
+		th.Reason = fmt.Sprintf("re-execution: %v", err)
+		return th
+	}
+
+	for _, o := range outs {
+		ok, reason := outcomeEntailsSuccessor(g, m, inst.Addr, inst.Next(), o, succs)
+		if !ok {
+			if annotatedAt(g, v.Addr) {
+				th.Verdict = Assumed
+				th.Reason = "annotated: " + reason
+				return th
+			}
+			th.Verdict = Failed
+			th.Reason = reason
+			return th
+		}
+	}
+	th.Verdict = Proven
+	return th
+}
+
+// outcomeEntailsSuccessor finds a successor vertex whose invariant is
+// entailed by the outcome's post-state.
+func outcomeEntailsSuccessor(g *hoare.Graph, m *sem.Machine, addr, next uint64, o sem.Outcome, succs map[hoare.VertexID]*hoare.Vertex) (bool, string) {
+	switch o.Kind {
+	case sem.KHalt:
+		if _, ok := succs[hoare.HaltID]; ok {
+			return true, ""
+		}
+		return false, "halt outcome without halt successor"
+	case sem.KRet:
+		chk := sem.CheckReturn(o, g.RetSym)
+		if !chk.OK {
+			return false, fmt.Sprintf("return check: %v", chk.Reasons)
+		}
+		if _, ok := succs[hoare.ExitID]; ok {
+			return true, ""
+		}
+		return false, "ret outcome without exit successor"
+	case sem.KCall:
+		// A call edge's postcondition is the ABI-cleaned continuation —
+		// or a terminal edge when the callee never returns.
+		post := m.CleanAfterCall(o.State, addr)
+		for id, s := range succs {
+			if id == hoare.HaltID {
+				return true, "" // callee proven non-returning in Step 1
+			}
+			if s != nil && s.Addr == next && entails(post, s.State, id) {
+				return true, ""
+			}
+		}
+		return false, "call continuation entails no successor invariant"
+	default: // KFall, KJump
+		tgt, ok := o.Resolved()
+		if !ok {
+			return false, fmt.Sprintf("unbounded control flow: rip = %v", o.Target)
+		}
+		var why string
+		for id, s := range succs {
+			if s == nil || id == hoare.ExitID || id == hoare.HaltID {
+				continue
+			}
+			if s.Addr == tgt {
+				ok, reason := entailsWhy(o.State, s.State)
+				if ok {
+					return true, ""
+				}
+				why = reason
+			}
+		}
+		return false, fmt.Sprintf("no successor invariant at %#x is entailed: %s", tgt, why)
+	}
+}
+
+// entails reports post ⊨ inv: every clause of the invariant holds in every
+// concrete state satisfying the post-state. Equality clauses on join
+// variables are interval constraints ("∃v ∈ [lo,hi]. part = v"), so they
+// are discharged by interval inclusion; join variables shared between
+// several parts additionally require the post values to coincide. Memory
+// model entailment is relation-set inclusion (the invariant's model is the
+// weaker one: it encodes fewer relations).
+func entails(post, inv *sem.State, vid hoare.VertexID) bool {
+	_ = vid
+	ok, _ := entailsWhy(post, inv)
+	return ok
+}
+
+// entailsWhy is entails with a failure explanation.
+func entailsWhy(post, inv *sem.State) (bool, string) {
+	if inv == nil {
+		return false, "no invariant"
+	}
+	if ok, why := entailsPred(post.Pred, inv.Pred); !ok {
+		return false, why
+	}
+	// Every relation asserted by the invariant's memory model must be
+	// encoded by the post-state's model — or hold geometrically in every
+	// state (same-base constant offsets).
+	postRels := post.Mem.Relations()
+	for _, rel := range inv.Mem.RelationsDetailed() {
+		if postRels[rel.String()] {
+			continue
+		}
+		if memmodel.GeometricallyNecessary(rel) {
+			continue
+		}
+		return false, fmt.Sprintf("memory relation %q not established", rel.String())
+	}
+	return true, ""
+}
+
+// valueEntails checks one equality clause: the invariant asserts
+// part = want; the post-state provides part = got.
+func valueEntails(post, inv *pred.Pred, got, want *expr.Expr) bool {
+	if got == nil {
+		return false
+	}
+	if got.Equal(want) {
+		return true
+	}
+	if want.Kind() != expr.KindVar {
+		return false
+	}
+	// An equality with a variable is an interval constraint (or no
+	// constraint at all if the variable is unbounded).
+	wr, ok := inv.RangeOf(want)
+	if !ok || (wr.Lo == 0 && wr.Hi == ^uint64(0)) {
+		return true
+	}
+	gr, ok := post.RangeOf(got)
+	return ok && gr.Lo >= wr.Lo && gr.Hi <= wr.Hi
+}
+
+// entailsPred checks the predicate clauses.
+func entailsPred(post, inv *pred.Pred) (bool, string) {
+	if post.IsBot() {
+		return true, ""
+	}
+	if inv.IsBot() {
+		return false, "invariant is unsatisfiable"
+	}
+	// Shared join variables encode correlations between parts: collect
+	// the post values assigned to each invariant variable and require
+	// them to coincide.
+	varUses := map[string][]*expr.Expr{}
+	record := func(got, want *expr.Expr) {
+		if want != nil && want.Kind() == expr.KindVar && got != nil {
+			k := want.Key()
+			varUses[k] = append(varUses[k], got)
+		}
+	}
+
+	for _, r := range x86.GPRs {
+		want := inv.Reg(r)
+		if want == nil {
+			continue
+		}
+		got := post.Reg(r)
+		if !valueEntails(post, inv, got, want) {
+			return false, fmt.Sprintf("register %s: post %v does not entail %v", r, got, want)
+		}
+		record(got, want)
+	}
+	ok := true
+	why := ""
+	inv.MemEntries(func(e pred.MemEntry) {
+		if !ok {
+			return
+		}
+		got, found := post.ReadMem(e.Addr, e.Size)
+		if !found || !valueEntails(post, inv, got, e.Val) {
+			ok = false
+			why = fmt.Sprintf("memory [%s,%d]: post %v does not entail %v", e.Addr, e.Size, got, e.Val)
+			return
+		}
+		record(got, e.Val)
+	})
+	if !ok {
+		return false, why
+	}
+	for _, uses := range varUses {
+		for i := 1; i < len(uses); i++ {
+			if !uses[i].Equal(uses[0]) {
+				return false, "correlated join variable with diverging post values"
+			}
+		}
+	}
+	// Flags.
+	for f := x86.Flag(0); f < x86.NumFlags; f++ {
+		want := inv.Flag(f)
+		if want == nil {
+			continue
+		}
+		got := post.Flag(f)
+		if got == nil || !got.Equal(want) {
+			return false, fmt.Sprintf("flag %s: post %v does not entail %v", f, got, want)
+		}
+	}
+	if !cmpEntails(post, inv) {
+		return false, "flag comparison descriptor not entailed"
+	}
+	return true, ""
+}
+
+// cmpEntails checks the flag-defining comparison descriptor: absent in the
+// invariant is trivially implied; present, it must match the post's
+// descriptor directly or through the register both express.
+func cmpEntails(post, inv *pred.Pred) bool {
+	ic := inv.LastCmp()
+	if ic == nil {
+		return true
+	}
+	pc := post.LastCmp()
+	if pc == nil || pc.Kind != ic.Kind || pc.Size != ic.Size || !pc.Rhs.Equal(ic.Rhs) {
+		return false
+	}
+	if pc.Lhs.Equal(ic.Lhs) {
+		return true
+	}
+	for _, r := range x86.GPRs {
+		iv, pv := inv.Reg(r), post.Reg(r)
+		if iv == nil || pv == nil {
+			continue
+		}
+		if ic.Lhs.Equal(expr.ZExt(iv, ic.Size)) && pc.Lhs.Equal(expr.ZExt(pv, pc.Size)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Sorted returns the theorems ordered by address.
+func (r *Report) Sorted() []Theorem {
+	out := append([]Theorem(nil), r.Theorems...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Vertex < out[j].Vertex
+	})
+	return out
+}

@@ -1,0 +1,60 @@
+package x86
+
+import "testing"
+
+func TestDecodeExtendedISA(t *testing.T) {
+	cases := []struct {
+		bytes []byte
+		want  string
+	}{
+		{[]byte{0x48, 0x0f, 0xa3, 0xc8}, "bt rax, rcx"},
+		{[]byte{0x0f, 0xab, 0xc8}, "bts eax, ecx"},
+		{[]byte{0x48, 0x0f, 0xb3, 0xd8}, "btr rax, rbx"},
+		{[]byte{0x0f, 0xbb, 0xd0}, "btc eax, edx"},
+		{[]byte{0x48, 0x0f, 0xba, 0xe0, 0x07}, "bt rax, 0x7"},
+		{[]byte{0x0f, 0xba, 0xe8, 0x03}, "bts eax, 0x3"},
+		{[]byte{0x48, 0x0f, 0xbc, 0xc1}, "bsf rax, rcx"},
+		{[]byte{0x0f, 0xbd, 0xc1}, "bsr eax, ecx"},
+		{[]byte{0xf3, 0x48, 0x0f, 0xb8, 0xc1}, "popcnt rax, rcx"},
+		{[]byte{0x48, 0x0f, 0xc1, 0xc8}, "xadd rax, rcx"},
+		{[]byte{0x0f, 0xc0, 0xc8}, "xadd al, cl"},
+		{[]byte{0x48, 0x0f, 0xb1, 0xc8}, "cmpxchg rax, rcx"},
+		{[]byte{0x0f, 0xc8}, "bswap eax"},
+		{[]byte{0x48, 0x0f, 0xcb}, "bswap rbx"},
+		{[]byte{0x41, 0x0f, 0xc9}, "bswap r9d"},
+	}
+	for _, c := range cases {
+		inst, err := Decode(c.bytes, 0)
+		if err != nil {
+			t.Errorf("% x: %v", c.bytes, err)
+			continue
+		}
+		if got := inst.String(); got != c.want {
+			t.Errorf("% x: got %q, want %q", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestEncodeExtendedISARoundTrip(t *testing.T) {
+	insts := []Inst{
+		{Mn: BT, Ops: []Operand{RegOp(RAX, 8), RegOp(RCX, 8)}},
+		{Mn: BTS, Ops: []Operand{RegOp(RDX, 4), RegOp(RBX, 4)}},
+		{Mn: BTR, Ops: []Operand{MemOp(RDI, RegNone, 1, 8, 8), RegOp(RAX, 8)}},
+		{Mn: BTC, Ops: []Operand{RegOp(R9, 8), RegOp(R10, 8)}},
+		{Mn: BT, Ops: []Operand{RegOp(RAX, 8), ImmOp(13, 1)}},
+		{Mn: BTS, Ops: []Operand{MemOp(RBP, RegNone, 1, -8, 8), ImmOp(3, 1)}},
+		{Mn: BSF, Ops: []Operand{RegOp(RAX, 8), RegOp(RCX, 8)}},
+		{Mn: BSR, Ops: []Operand{RegOp(R11, 4), MemOp(RSI, RegNone, 1, 0, 4)}},
+		{Mn: POPCNT, Ops: []Operand{RegOp(RAX, 8), RegOp(RDI, 8)}},
+		{Mn: POPCNT, Ops: []Operand{RegOp(RCX, 4), RegOp(RDX, 4)}},
+		{Mn: XADD, Ops: []Operand{RegOp(RAX, 8), RegOp(RCX, 8)}},
+		{Mn: XADD, Ops: []Operand{MemOp(RDI, RegNone, 1, 0, 4), RegOp(RSI, 4)}},
+		{Mn: CMPXCHG, Ops: []Operand{RegOp(RBX, 8), RegOp(RCX, 8)}},
+		{Mn: CMPXCHG, Ops: []Operand{MemOp(RDI, RegNone, 1, 16, 8), RegOp(RDX, 8)}},
+		{Mn: BSWAP, Ops: []Operand{RegOp(RAX, 4)}},
+		{Mn: BSWAP, Ops: []Operand{RegOp(R12, 8)}},
+	}
+	for _, inst := range insts {
+		roundTrip(t, inst)
+	}
+}

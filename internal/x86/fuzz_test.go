@@ -1,0 +1,67 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics feeds random byte soup to the decoder: it must
+// return either a valid instruction (whose length fits the input) or an
+// error — never panic, never over-read.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	buf := make([]byte, 16)
+	for trial := 0; trial < 200000; trial++ {
+		n := 1 + rng.Intn(len(buf))
+		code := buf[:n]
+		for i := range code {
+			code[i] = byte(rng.Intn(256))
+		}
+		inst, err := Decode(code, 0x400000)
+		if err != nil {
+			continue
+		}
+		if inst.Len <= 0 || inst.Len > n {
+			t.Fatalf("decoded length %d out of range for input % x", inst.Len, code)
+		}
+		if inst.Mn == BAD {
+			t.Fatalf("BAD mnemonic returned without error for % x", code)
+		}
+		// Rendering must not panic either.
+		_ = inst.String()
+	}
+}
+
+// TestDecodeTruncationMonotone: every successfully decoded instruction
+// also decodes identically from exactly its own bytes, and fails (rather
+// than mis-decoding) from any strict prefix.
+func TestDecodeTruncationMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	buf := make([]byte, 15)
+	checked := 0
+	for trial := 0; trial < 100000 && checked < 3000; trial++ {
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		inst, err := Decode(buf, 0)
+		if err != nil {
+			continue
+		}
+		checked++
+		again, err := Decode(buf[:inst.Len], 0)
+		if err != nil {
+			t.Fatalf("re-decode of % x failed: %v", buf[:inst.Len], err)
+		}
+		if again.String() != inst.String() {
+			t.Fatalf("re-decode differs: %q vs %q", again.String(), inst.String())
+		}
+		for cut := 1; cut < inst.Len; cut++ {
+			if pre, err := Decode(buf[:cut], 0); err == nil && pre.Len > cut {
+				t.Fatalf("prefix decode over-read: % x", buf[:cut])
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no instructions decoded")
+	}
+}

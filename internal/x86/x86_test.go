@@ -1,0 +1,410 @@
+package x86
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// dec is a test helper that decodes bytes at the given address.
+func dec(t *testing.T, addr uint64, b ...byte) Inst {
+	t.Helper()
+	inst, err := Decode(b, addr)
+	if err != nil {
+		t.Fatalf("decode % x: %v", b, err)
+	}
+	if inst.Len != len(b) {
+		t.Fatalf("decode % x: consumed %d of %d bytes", b, inst.Len, len(b))
+	}
+	return inst
+}
+
+func TestDecodeBasics(t *testing.T) {
+	cases := []struct {
+		bytes []byte
+		want  string
+	}{
+		{[]byte{0x55}, "push rbp"},
+		{[]byte{0x48, 0x89, 0xe5}, "mov rbp, rsp"},
+		{[]byte{0x48, 0x83, 0xec, 0x20}, "sub rsp, 0x20"},
+		{[]byte{0x5d}, "pop rbp"},
+		{[]byte{0xc3}, "ret"},
+		{[]byte{0xc9}, "leave"},
+		{[]byte{0x90}, "nop"},
+		{[]byte{0xf3, 0x0f, 0x1e, 0xfa}, "endbr64"},
+		{[]byte{0x31, 0xc0}, "xor eax, eax"},
+		{[]byte{0x48, 0x31, 0xc0}, "xor rax, rax"},
+		{[]byte{0xb8, 0x2a, 0x00, 0x00, 0x00}, "mov eax, 0x2a"},
+		{[]byte{0x48, 0xb8, 0xef, 0xbe, 0xad, 0xde, 0x00, 0x00, 0x00, 0x00}, "mov rax, 0xdeadbeef"},
+		{[]byte{0x89, 0x7d, 0xfc}, "mov dword ptr [rbp-0x4], edi"},
+		{[]byte{0x8b, 0x45, 0xfc}, "mov eax, dword ptr [rbp-0x4]"},
+		{[]byte{0x48, 0x8d, 0x04, 0xbd, 0x00, 0x10, 0x40, 0x00}, "lea rax, qword ptr [rdi*4+0x401000]"},
+		{[]byte{0x3d, 0xc3, 0x00, 0x00, 0x00}, "cmp eax, 0xc3"},
+		{[]byte{0x41, 0x54}, "push r12"},
+		{[]byte{0x41, 0x5d}, "pop r13"},
+		{[]byte{0x4d, 0x89, 0xe6}, "mov r14, r12"},
+		{[]byte{0x0f, 0xb6, 0xc0}, "movzx eax, al"},
+		{[]byte{0x48, 0x0f, 0xbf, 0xc8}, "movsx rcx, ax"},
+		{[]byte{0x48, 0x63, 0xd0}, "movsxd rdx, eax"},
+		{[]byte{0x48, 0x0f, 0xaf, 0xc7}, "imul rax, rdi"},
+		{[]byte{0x6b, 0xc0, 0x0a}, "imul eax, eax, 0xa"},
+		{[]byte{0x48, 0xf7, 0xf9}, "idiv rcx"},
+		{[]byte{0x48, 0xd1, 0xe8}, "shr rax, 0x1"},
+		{[]byte{0x48, 0xc1, 0xe0, 0x03}, "shl rax, 0x3"},
+		{[]byte{0x48, 0xd3, 0xf8}, "sar rax, cl"},
+		{[]byte{0xff, 0xd0}, "call rax"},
+		{[]byte{0xff, 0x27}, "jmp qword ptr [rdi]"},
+		{[]byte{0xff, 0x75, 0xf0}, "push qword ptr [rbp-0x10]"},
+		{[]byte{0x0f, 0x94, 0xc0}, "sete al"},
+		{[]byte{0x48, 0x0f, 0x44, 0xc1}, "cmove rax, rcx"},
+		{[]byte{0x48, 0x99}, "cqo"},
+		{[]byte{0x99}, "cdq"},
+		{[]byte{0x0f, 0x0b}, "ud2"},
+		{[]byte{0x0f, 0x05}, "syscall"},
+		{[]byte{0x66, 0x89, 0x08}, "mov word ptr [rax], cx"},
+		{[]byte{0x42, 0x8b, 0x04, 0xb8}, "mov eax, dword ptr [rax+r15*4]"},
+	}
+	for _, c := range cases {
+		inst := dec(t, 0, c.bytes...)
+		if got := inst.String(); got != c.want {
+			t.Errorf("% x: got %q, want %q", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestDecodeRelativeBranches(t *testing.T) {
+	// e8 rel32 at 0x400000, rel = 0x100 → target 0x400105.
+	inst := dec(t, 0x400000, 0xe8, 0x00, 0x01, 0x00, 0x00)
+	if tgt, ok := inst.Target(); !ok || tgt != 0x400105 {
+		t.Fatalf("call target %#x", tgt)
+	}
+	// jz rel8 backwards.
+	inst = dec(t, 0x400010, 0x74, 0xfe)
+	if tgt, ok := inst.Target(); !ok || tgt != 0x400010 {
+		t.Fatalf("jz target %#x", tgt)
+	}
+	if inst.Cond != CondE {
+		t.Fatalf("cond %v", inst.Cond)
+	}
+	// RIP-relative lea: 48 8d 05 rel32 at 0x400000 (7 bytes), rel=0x20 → 0x400027.
+	inst = dec(t, 0x400000, 0x48, 0x8d, 0x05, 0x20, 0x00, 0x00, 0x00)
+	if inst.Ops[1].Base != RIP || inst.Ops[1].Disp != 0x400027 {
+		t.Fatalf("rip-rel: %v", inst.Ops[1])
+	}
+}
+
+func TestDecodeSection2Example(t *testing.T) {
+	// The 64-bit analogue of the paper's Section 2 byte sequence.
+	code := []byte{
+		0x3d, 0xc3, 0x00, 0x00, 0x00, // cmp eax, 0xc3
+		0x0f, 0x87, 0x18, 0x00, 0x00, 0x00, // ja +0x18
+		0x8b, 0x04, 0x85, 0x00, 0x10, 0x40, 0x00, // mov eax, [rax*4+0x401000]
+		0x89, 0x07, // mov [rdi], eax
+		0xc7, 0x06, 0x01, 0x00, 0x00, 0x00, // mov dword [rsi], 1
+		0xff, 0x27, // jmp [rdi]
+	}
+	want := []string{
+		"cmp eax, 0xc3",
+		"ja 0x23",
+		"mov eax, dword ptr [rax*4+0x401000]",
+		"mov dword ptr [rdi], eax",
+		"mov dword ptr [rsi], 0x1",
+		"jmp qword ptr [rdi]",
+	}
+	addr := uint64(0)
+	for i := 0; len(code) > 0; i++ {
+		inst, err := Decode(code, addr)
+		if err != nil {
+			t.Fatalf("decode at %#x: %v", addr, err)
+		}
+		if inst.String() != want[i] {
+			t.Errorf("at %#x: got %q, want %q", addr, inst.String(), want[i])
+		}
+		code = code[inst.Len:]
+		addr += uint64(inst.Len)
+	}
+	// Decoding in the middle of the first instruction yields ret (the
+	// hidden ROP gadget: byte 0xc3 of the immediate).
+	gadget := dec(t, 1, 0xc3)
+	if gadget.Mn != RET {
+		t.Fatalf("hidden gadget: %v", gadget)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil, 0); err == nil {
+		t.Fatal("empty input must fail")
+	}
+	if _, err := Decode([]byte{0x48}, 0); err == nil {
+		t.Fatal("lone REX must fail")
+	}
+	if _, err := Decode([]byte{0x0f, 0xff}, 0); err == nil {
+		t.Fatal("unknown 0f opcode must fail")
+	}
+	if _, err := Decode([]byte{0x81, 0xc0, 0x01}, 0); err == nil {
+		t.Fatal("truncated imm32 must fail")
+	}
+	var de *DecodeError
+	_, err := Decode([]byte{0x0f, 0xff}, 0x1234)
+	if e, ok := err.(*DecodeError); ok {
+		de = e
+	} else {
+		t.Fatalf("want *DecodeError, got %T", err)
+	}
+	if de.Addr != 0x1234 || de.Error() == "" {
+		t.Fatalf("decode error fields: %+v", de)
+	}
+}
+
+// roundTrip encodes inst, decodes the result and compares the semantic
+// fields (mnemonic, condition, operands).
+func roundTrip(t *testing.T, inst Inst) {
+	t.Helper()
+	inst.Addr = 0x400000
+	b, err := Encode(inst)
+	if err != nil {
+		t.Fatalf("encode %s: %v", inst.String(), err)
+	}
+	got, err := Decode(b, inst.Addr)
+	if err != nil {
+		t.Fatalf("decode(encode(%s)) = % x: %v", inst.String(), b, err)
+	}
+	if got.Mn != inst.Mn || got.Cond != inst.Cond || !reflect.DeepEqual(got.Ops, inst.Ops) {
+		t.Fatalf("round trip %s: got %s (% x)\n  ops want %+v\n  ops got  %+v",
+			inst.String(), got.String(), b, inst.Ops, got.Ops)
+	}
+}
+
+func TestEncodeRoundTripFixed(t *testing.T) {
+	insts := []Inst{
+		{Mn: MOV, Ops: []Operand{RegOp(RAX, 8), RegOp(RBX, 8)}},
+		{Mn: MOV, Ops: []Operand{RegOp(R12, 4), ImmOp(0x1234, 4)}},
+		{Mn: MOV, Ops: []Operand{RegOp(RAX, 8), ImmOp(0x123456789a, 8)}},
+		{Mn: MOV, Ops: []Operand{MemOp(RBP, RegNone, 1, -16, 8), RegOp(RDI, 8)}},
+		{Mn: MOV, Ops: []Operand{MemOp(RSP, RegNone, 1, 8, 4), ImmOp(7, 4)}},
+		{Mn: MOV, Ops: []Operand{RegOp(RCX, 1), MemOp(RAX, RDX, 2, 5, 1)}},
+		{Mn: ADD, Ops: []Operand{RegOp(RAX, 8), ImmOp(8, 1)}},
+		{Mn: SUB, Ops: []Operand{RegOp(RSP, 8), ImmOp(0x100, 4)}},
+		{Mn: CMP, Ops: []Operand{RegOp(RAX, 4), ImmOp(0xc3, 4)}},
+		{Mn: CMP, Ops: []Operand{MemOp(RBP, RegNone, 1, -8, 8), RegOp(RAX, 8)}},
+		{Mn: TEST, Ops: []Operand{RegOp(RDI, 8), RegOp(RDI, 8)}},
+		{Mn: LEA, Ops: []Operand{RegOp(RAX, 8), MemOp(RegNone, RDI, 4, 0x401000, 8)}},
+		{Mn: LEA, Ops: []Operand{RegOp(RSI, 8), MemOp(RSP, RegNone, 1, 16, 8)}},
+		{Mn: MOVZX, Ops: []Operand{RegOp(RAX, 4), RegOp(RCX, 1)}},
+		{Mn: MOVSX, Ops: []Operand{RegOp(RDX, 8), MemOp(RDI, RegNone, 1, 0, 2)}},
+		{Mn: MOVSXD, Ops: []Operand{RegOp(RDX, 8), RegOp(RAX, 4)}},
+		{Mn: IMUL, Ops: []Operand{RegOp(RAX, 8), RegOp(RBX, 8)}},
+		{Mn: IMUL, Ops: []Operand{RegOp(RAX, 4), RegOp(RAX, 4), ImmOp(10, 1)}},
+		{Mn: IMUL, Ops: []Operand{RegOp(RCX, 8)}},
+		{Mn: MUL, Ops: []Operand{RegOp(RCX, 8)}},
+		{Mn: DIV, Ops: []Operand{RegOp(RSI, 8)}},
+		{Mn: IDIV, Ops: []Operand{RegOp(RSI, 4)}},
+		{Mn: NOT, Ops: []Operand{RegOp(RDX, 8)}},
+		{Mn: NEG, Ops: []Operand{MemOp(RBP, RegNone, 1, -24, 4)}},
+		{Mn: INC, Ops: []Operand{RegOp(RAX, 8)}},
+		{Mn: DEC, Ops: []Operand{MemOp(RBP, RegNone, 1, -4, 4)}},
+		{Mn: SHL, Ops: []Operand{RegOp(RAX, 8), ImmOp(3, 1)}},
+		{Mn: SHR, Ops: []Operand{RegOp(RDX, 4), RegOp(RCX, 1)}},
+		{Mn: SAR, Ops: []Operand{RegOp(RAX, 8), ImmOp(63, 1)}},
+		{Mn: ROL, Ops: []Operand{RegOp(RBX, 8), ImmOp(8, 1)}},
+		{Mn: PUSH, Ops: []Operand{RegOp(R15, 8)}},
+		{Mn: POP, Ops: []Operand{RegOp(RBP, 8)}},
+		{Mn: PUSH, Ops: []Operand{MemOp(RBP, RegNone, 1, -16, 8)}},
+		{Mn: XCHG, Ops: []Operand{RegOp(RBX, 8), RegOp(RDX, 8)}},
+		{Mn: SETCC, Cond: CondNE, Ops: []Operand{RegOp(RAX, 1)}},
+		{Mn: CMOVCC, Cond: CondL, Ops: []Operand{RegOp(RAX, 8), RegOp(RBX, 8)}},
+		{Mn: CALL, Ops: []Operand{RegOp(RAX, 8)}},
+		{Mn: JMP, Ops: []Operand{MemOp(RDI, RegNone, 1, 0, 8)}},
+		{Mn: RET},
+		{Mn: LEAVE},
+		{Mn: NOP},
+		{Mn: CDQE},
+		{Mn: CQO},
+		{Mn: ENDBR64},
+		{Mn: AND, Ops: []Operand{RegOp(RSP, 8), ImmOp(-16, 1)}},
+		{Mn: OR, Ops: []Operand{RegOp(RAX, 1), ImmOp(1, 1)}},
+		{Mn: XOR, Ops: []Operand{RegOp(R9, 8), RegOp(R9, 8)}},
+		{Mn: ADC, Ops: []Operand{RegOp(RAX, 8), RegOp(RDX, 8)}},
+		{Mn: SBB, Ops: []Operand{RegOp(RDX, 4), RegOp(RDX, 4)}},
+	}
+	for _, inst := range insts {
+		roundTrip(t, inst)
+	}
+}
+
+func TestEncodeBranches(t *testing.T) {
+	// call to absolute target.
+	inst := Inst{Mn: CALL, Ops: []Operand{ImmOp(0x401000, 4)}, Addr: 0x400000}
+	b, err := Encode(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt, ok := got.Target(); !ok || tgt != 0x401000 {
+		t.Fatalf("call target %#x", tgt)
+	}
+	// jcc backwards.
+	inst = Inst{Mn: JCC, Cond: CondA, Ops: []Operand{ImmOp(0x3ff000, 4)}, Addr: 0x400000}
+	b, err = Encode(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Decode(b, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt, ok := got.Target(); !ok || tgt != 0x3ff000 || got.Cond != CondA {
+		t.Fatalf("jcc: %v", got)
+	}
+}
+
+// TestEncodeRoundTripRandom fuzzes register/memory/immediate shapes through
+// the encoder and decoder.
+func TestEncodeRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	regs := GPRs
+	sizes := []int{1, 2, 4, 8}
+	randMem := func(size int) Operand {
+		base := regs[rng.Intn(len(regs))]
+		idx := RegNone
+		scale := uint8(1)
+		if rng.Intn(2) == 0 {
+			for {
+				idx = regs[rng.Intn(len(regs))]
+				if idx != RSP {
+					break
+				}
+			}
+			scale = uint8(1 << rng.Intn(4))
+		}
+		disp := int64(int32(rng.Uint32()))
+		if rng.Intn(2) == 0 {
+			disp = int64(int8(rng.Intn(256)))
+		}
+		return MemOp(base, idx, scale, disp, size)
+	}
+	mns := []Mnemonic{MOV, ADD, SUB, AND, OR, XOR, CMP, ADC, SBB}
+	for i := 0; i < 3000; i++ {
+		mn := mns[rng.Intn(len(mns))]
+		size := sizes[rng.Intn(len(sizes))]
+		var inst Inst
+		switch rng.Intn(4) {
+		case 0: // reg, reg
+			inst = Inst{Mn: mn, Ops: []Operand{
+				RegOp(regs[rng.Intn(len(regs))], size),
+				RegOp(regs[rng.Intn(len(regs))], size)}}
+		case 1: // mem, reg
+			inst = Inst{Mn: mn, Ops: []Operand{randMem(size), RegOp(regs[rng.Intn(len(regs))], size)}}
+		case 2: // reg, mem
+			inst = Inst{Mn: mn, Ops: []Operand{RegOp(regs[rng.Intn(len(regs))], size), randMem(size)}}
+		case 3: // rm, imm
+			iv := int64(int8(rng.Intn(256)))
+			isz := 1
+			if size > 1 && rng.Intn(2) == 0 {
+				iv = int64(int32(rng.Uint32()))
+				isz = 4
+				if size == 2 {
+					iv = int64(int16(iv))
+					isz = 2
+				}
+			}
+			dst := RegOp(regs[rng.Intn(len(regs))], size)
+			if rng.Intn(2) == 0 {
+				dst = randMem(size)
+			}
+			inst = Inst{Mn: mn, Ops: []Operand{dst, ImmOp(iv, isz)}}
+			if mn == MOV && isz == 1 && size > 1 {
+				// mov has no sign-extended imm8 form.
+				inst.Ops[1].Size = sizeImmForMov(size)
+			}
+		}
+		roundTrip(t, inst)
+	}
+}
+
+func sizeImmForMov(opsize int) int {
+	if opsize == 8 {
+		return 4
+	}
+	return opsize
+}
+
+func TestAsmLabels(t *testing.T) {
+	a := NewAsm(0x400000)
+	a.Label("start")
+	a.I(XOR, RegOp(RAX, 4), RegOp(RAX, 4))
+	a.Label("loop")
+	a.I(ADD, RegOp(RAX, 4), ImmOp(1, 1))
+	a.I(CMP, RegOp(RAX, 4), ImmOp(10, 4))
+	a.Jcc(CondL, "loop")
+	a.Jmp("end")
+	a.I(UD2)
+	a.Label("end")
+	a.I(RET)
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode all and check the backward/forward targets.
+	addr := uint64(0x400000)
+	var insts []Inst
+	rest := code
+	for len(rest) > 0 {
+		inst, err := Decode(rest, addr)
+		if err != nil {
+			t.Fatalf("decode at %#x: %v", addr, err)
+		}
+		insts = append(insts, inst)
+		rest = rest[inst.Len:]
+		addr += uint64(inst.Len)
+	}
+	loopAddr, _ := a.LabelAddr("loop")
+	endAddr, _ := a.LabelAddr("end")
+	var sawBack, sawFwd bool
+	for _, in := range insts {
+		if tgt, ok := in.Target(); ok {
+			if in.Mn == JCC && tgt == loopAddr {
+				sawBack = true
+			}
+			if in.Mn == JMP && tgt == endAddr {
+				sawFwd = true
+			}
+		}
+	}
+	if !sawBack || !sawFwd {
+		t.Fatalf("labels not resolved: back=%v fwd=%v", sawBack, sawFwd)
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	a := NewAsm(0)
+	a.Jmp("nowhere")
+	if _, err := a.Finish(); err == nil {
+		t.Fatal("undefined label must fail")
+	}
+	a = NewAsm(0)
+	a.Label("x")
+	a.Label("x")
+	a.I(RET)
+	if _, err := a.Finish(); err == nil {
+		t.Fatal("duplicate label must fail")
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	if RAX.Name(1) != "al" || RAX.Name(2) != "ax" || RAX.Name(4) != "eax" || RAX.Name(8) != "rax" {
+		t.Fatal("rax names")
+	}
+	if R8.Name(4) != "r8d" || RSP.Name(1) != "spl" {
+		t.Fatal("extended names")
+	}
+	if !IsCalleeSaved(RBX) || IsCalleeSaved(RAX) {
+		t.Fatal("callee-saved classification")
+	}
+	if CondE.Negate() != CondNE || CondA.Negate() != CondBE {
+		t.Fatal("condition negation")
+	}
+}

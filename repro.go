@@ -1,0 +1,364 @@
+// Package repro is a from-scratch Go reproduction of "Formally Verified
+// Lifting of C-Compiled x86-64 Binaries" (Verbeek, Bockenek, Fu,
+// Ravindran; PLDI 2022).
+//
+// The package lifts stripped x86-64 ELF binaries to Hoare Graphs: provably
+// overapproximative representations containing the disassembled
+// instructions, the recovered control flow, and per-vertex invariants
+// strong enough to prove three sanity properties — return address
+// integrity, bounded control flow and calling convention adherence
+// (Step 1). Every edge of the graph is a Hoare triple that an independent
+// checker re-verifies from the binary's bytes (Step 2, the paper's
+// Isabelle/HOL export).
+//
+// Quick start:
+//
+//	data, _ := os.ReadFile("a.out")
+//	res, err := repro.LiftBinary(data)
+//	if err != nil { ... }
+//	fmt.Println(res.Status, res.Stats.Instructions, "instructions")
+//	rep, _ := repro.VerifyBinary(data)   // Step 2
+//	fmt.Println(rep.Proven, "theorems proven")
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hoare"
+	"repro/internal/image"
+	"repro/internal/sem"
+	"repro/internal/triple"
+)
+
+// Status classifies a lifting outcome, following Table 1's legend.
+type Status string
+
+// The lifting outcomes.
+const (
+	Lifted        Status = "lifted"
+	UnprovableRet Status = "unprovable-return-address"
+	Concurrency   Status = "concurrency"
+	Timeout       Status = "timeout"
+	Error         Status = "error"
+)
+
+func statusOf(s core.Status) Status {
+	switch s {
+	case core.StatusLifted:
+		return Lifted
+	case core.StatusUnprovableRet:
+		return UnprovableRet
+	case core.StatusConcurrency:
+		return Concurrency
+	case core.StatusTimeout:
+		return Timeout
+	default:
+		return Error
+	}
+}
+
+// Stats summarises a Hoare graph in the shape of Table 1's columns.
+type Stats struct {
+	Instructions   int // lifted instructions
+	States         int // symbolic states (vertices)
+	ResolvedInd    int // column A: resolved indirections
+	UnresolvedJump int // column B
+	UnresolvedCall int // column C
+	Edges          int
+}
+
+// FuncReport is the outcome of lifting one function.
+type FuncReport struct {
+	Name    string
+	Addr    uint64
+	Status  Status
+	Reasons []string
+	Returns bool
+	Stats   Stats
+	// Obligations are the generated proof obligations over external
+	// functions (Section 5.3), e.g.
+	// "@400701 : memset(rdi := rsp0 - 0x28) MUST PRESERVE [...]".
+	Obligations []string
+	// Assumptions are the implicit separation assumptions exported with
+	// the graph (Section 5.2).
+	Assumptions []string
+	// Graph is the extracted Hoare graph rendered as text (vertices with
+	// invariants, labelled edges, annotations).
+	Graph string
+	// Theory is the Isabelle/HOL-style export of the graph's theorems.
+	Theory string
+	// DOT is a Graphviz rendering of the graph with weird vertices
+	// highlighted.
+	DOT string
+	// HG is the machine-readable .hg serialisation of the graph, suitable
+	// for hgprove -hg.
+	HG []byte
+}
+
+// BinaryReport aggregates lifting a binary from its entry point.
+type BinaryReport struct {
+	Status Status
+	Stats  Stats
+	Funcs  []*FuncReport
+}
+
+// Options tunes lifting. The zero value uses the paper's defaults.
+type Options struct {
+	// MaxStates bounds per-function exploration (0 = default, 40000).
+	MaxStates int
+	// NoJoin disables state joining (ablation).
+	NoJoin bool
+	// JoinCodePointers joins states holding different code-pointer
+	// immediates (ablation; loses indirection resolution).
+	JoinCodePointers bool
+}
+
+func (o Options) config() core.Config {
+	cfg := core.DefaultConfig()
+	if o.MaxStates > 0 {
+		cfg.MaxStates = o.MaxStates
+	}
+	cfg.NoJoin = o.NoJoin
+	cfg.JoinCodePointers = o.JoinCodePointers
+	return cfg
+}
+
+func funcReport(r *core.FuncResult) *FuncReport {
+	fr := &FuncReport{
+		Name:    r.Name,
+		Addr:    r.Addr,
+		Status:  statusOf(r.Status),
+		Reasons: r.Reasons,
+		Returns: r.Returns,
+	}
+	st := r.Stats()
+	fr.Stats = Stats{
+		Instructions:   st.Instructions,
+		States:         st.States,
+		ResolvedInd:    st.ResolvedInd,
+		UnresolvedJump: st.UnresolvedJump,
+		UnresolvedCall: st.UnresolvedCall,
+		Edges:          st.Edges,
+	}
+	if r.Graph != nil {
+		fr.Obligations = r.Graph.Obligations
+		fr.Assumptions = r.Graph.Assumptions
+		fr.Graph = r.Graph.Dump()
+		fr.Theory = triple.ExportTheory(r.Graph, r.Name)
+		fr.DOT = r.Graph.ToDOT()
+		fr.HG = hoare.Marshal(r.Graph)
+	}
+	return fr
+}
+
+// LiftBinary lifts an ELF binary from its entry point, exploring all
+// reachable code including internal function calls (Step 1).
+func LiftBinary(elf []byte, opts ...Options) (*BinaryReport, error) {
+	im, err := image.Load(elf)
+	if err != nil {
+		return nil, err
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	l := core.New(im, o.config())
+	res := l.LiftBinary("binary")
+	rep := &BinaryReport{Status: statusOf(res.Status)}
+	rep.Stats = Stats{
+		Instructions:   res.Stats.Instructions,
+		States:         res.Stats.States,
+		ResolvedInd:    res.Stats.ResolvedInd,
+		UnresolvedJump: res.Stats.UnresolvedJump,
+		UnresolvedCall: res.Stats.UnresolvedCall,
+		Edges:          res.Stats.Edges,
+	}
+	for _, fr := range res.Funcs {
+		rep.Funcs = append(rep.Funcs, funcReport(fr))
+	}
+	return rep, nil
+}
+
+// LiftFunction lifts a single function at the given address — how the
+// paper lifts the exported functions of shared objects (Table 1, lower
+// part).
+func LiftFunction(elf []byte, addr uint64, opts ...Options) (*FuncReport, error) {
+	im, err := image.Load(elf)
+	if err != nil {
+		return nil, err
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	l := core.New(im, o.config())
+	name := fmt.Sprintf("sub_%x", addr)
+	if n, ok := im.SymbolName(addr); ok {
+		name = n
+	}
+	return funcReport(l.LiftFunc(addr, name)), nil
+}
+
+// FuncSymbols lists the exported function symbols of an ELF image (the
+// `nm` step of the paper's shared-object workflow).
+func FuncSymbols(elf []byte) (map[string]uint64, error) {
+	im, err := image.Load(elf)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]uint64{}
+	for _, s := range im.FuncSymbols() {
+		out[s.Name] = s.Value
+	}
+	return out, nil
+}
+
+// VerifyReport is the Step 2 outcome: one theorem per vertex.
+type VerifyReport struct {
+	Proven  int
+	Assumed int
+	Failed  int
+	// Failures lists the failed theorems ("vertex: reason").
+	Failures []string
+}
+
+// AllProven reports whether every theorem was proven or explicitly
+// assumed.
+func (r *VerifyReport) AllProven() bool { return r.Failed == 0 }
+
+// VerifyFunction runs Step 2 on a single function: the function is lifted,
+// then every vertex's Hoare triple is independently re-verified against
+// the binary's bytes.
+func VerifyFunction(elf []byte, addr uint64, opts ...Options) (*FuncReport, *VerifyReport, error) {
+	im, err := image.Load(elf)
+	if err != nil {
+		return nil, nil, err
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	l := core.New(im, o.config())
+	name := fmt.Sprintf("sub_%x", addr)
+	if n, ok := im.SymbolName(addr); ok {
+		name = n
+	}
+	fr := l.LiftFunc(addr, name)
+	rep := funcReport(fr)
+	if fr.Status != core.StatusLifted {
+		return rep, nil, fmt.Errorf("repro: function %s not lifted: %s", name, fr.Status)
+	}
+	check := triple.CheckGraph(im, fr.Graph, sem.DefaultConfig(), 4)
+	vr := &VerifyReport{Proven: check.Proven, Assumed: check.Assumed, Failed: check.Failed}
+	for _, th := range check.Sorted() {
+		if th.Verdict == triple.Failed {
+			vr.Failures = append(vr.Failures, fmt.Sprintf("%s: %s", th.Vertex, th.Reason))
+		}
+	}
+	return rep, vr, nil
+}
+
+// VerifyBinary runs Step 2 over every function reached from the entry
+// point, mirroring Table 2's per-binary totals.
+func VerifyBinary(elf []byte, opts ...Options) (*VerifyReport, error) {
+	im, err := image.Load(elf)
+	if err != nil {
+		return nil, err
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	l := core.New(im, o.config())
+	res := l.LiftBinary("binary")
+	if res.Status != core.StatusLifted {
+		return nil, fmt.Errorf("repro: binary not lifted: %s", statusOf(res.Status))
+	}
+	out := &VerifyReport{}
+	for _, fr := range res.Funcs {
+		if fr.Graph == nil {
+			continue
+		}
+		check := triple.CheckGraph(im, fr.Graph, sem.DefaultConfig(), 4)
+		out.Proven += check.Proven
+		out.Assumed += check.Assumed
+		out.Failed += check.Failed
+		for _, th := range check.Sorted() {
+			if th.Verdict == triple.Failed {
+				out.Failures = append(out.Failures, fmt.Sprintf("%s/%s: %s", fr.Name, th.Vertex, th.Reason))
+			}
+		}
+	}
+	return out, nil
+}
+
+// Exploit is a concrete way to violate a generated proof obligation —
+// Section 7's security-analysis application ("the negation of the
+// generated assumptions may be useful in the generation of exploits").
+type Exploit struct {
+	CallAddr     uint64
+	Callee       string
+	ArgReg       string
+	Offset       int64 // frame offset of the pointer, relative to rsp0
+	OverwriteLen int64 // minimum write length reaching the return address
+	Description  string
+}
+
+// ExploitCandidates lifts the function and negates its proof obligations
+// into concrete exploit recipes (see examples/ropdetect).
+func ExploitCandidates(elf []byte, addr uint64) ([]Exploit, error) {
+	im, err := image.Load(elf)
+	if err != nil {
+		return nil, err
+	}
+	l := core.New(im, core.DefaultConfig())
+	name := fmt.Sprintf("sub_%x", addr)
+	if n, ok := im.SymbolName(addr); ok {
+		name = n
+	}
+	fr := l.LiftFunc(addr, name)
+	var out []Exploit
+	for _, c := range core.ExploitCandidates(fr) {
+		out = append(out, Exploit{
+			CallAddr:     c.CallAddr,
+			Callee:       c.Callee,
+			ArgReg:       c.ArgReg,
+			Offset:       c.Offset,
+			OverwriteLen: c.OverwriteLen,
+			Description:  c.String(),
+		})
+	}
+	return out, nil
+}
+
+// Disasm renders the recovered disassembly of a lifted function in address
+// order — the paper's base question 1 ("what instructions are executed").
+func Disasm(elf []byte, addr uint64) ([]string, error) {
+	im, err := image.Load(elf)
+	if err != nil {
+		return nil, err
+	}
+	l := core.New(im, core.DefaultConfig())
+	fr := l.LiftFunc(addr, "f")
+	if fr.Graph == nil {
+		return nil, fmt.Errorf("repro: no graph")
+	}
+	addrs := make([]uint64, 0, len(fr.Graph.Instrs))
+	for a := range fr.Graph.Instrs {
+		addrs = append(addrs, a)
+	}
+	for i := 0; i < len(addrs); i++ {
+		for j := i + 1; j < len(addrs); j++ {
+			if addrs[j] < addrs[i] {
+				addrs[i], addrs[j] = addrs[j], addrs[i]
+			}
+		}
+	}
+	out := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		inst := fr.Graph.Instrs[a]
+		out = append(out, fmt.Sprintf("%#x: %s", a, inst.String()))
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package repro
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cgen"
+	"repro/internal/corpus"
+)
+
+// compileSample builds a small program through the public-facing corpus
+// compiler.
+func compileSample(t testing.TB) *cgen.Result {
+	t.Helper()
+	prog := &cgen.Program{
+		Globals: []cgen.Global{{Name: "g0", Size: 8}},
+		Funcs: []*cgen.Func{
+			{Name: "helper", Params: 1, Locals: 1,
+				Body: []cgen.Stmt{
+					cgen.Assign{Dst: 0, Src: cgen.Bin{Op: cgen.OpMul, L: cgen.Param(0), R: cgen.Const(3)}},
+					cgen.Return{X: cgen.Local(0)},
+				}},
+			{Name: "main", Params: 1, Locals: 1,
+				Body: []cgen.Stmt{
+					cgen.Switch{X: cgen.Param(0),
+						Cases: [][]cgen.Stmt{
+							{cgen.Assign{Dst: 0, Src: cgen.Call{Name: "helper", Args: []cgen.Expr{cgen.Const(2)}}}},
+							{cgen.Assign{Dst: 0, Src: cgen.Const(9)}},
+						},
+						Default: []cgen.Stmt{cgen.Assign{Dst: 0, Src: cgen.Const(1)}}},
+					cgen.Return{X: cgen.Local(0)},
+				}},
+		},
+		Entry: "main",
+	}
+	res, err := cgen.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLiftBinaryAPI(t *testing.T) {
+	bin := compileSample(t)
+	rep, err := LiftBinary(bin.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != Lifted {
+		t.Fatalf("status: %s", rep.Status)
+	}
+	if rep.Stats.Instructions == 0 || rep.Stats.States == 0 {
+		t.Fatalf("stats: %+v", rep.Stats)
+	}
+	if rep.Stats.ResolvedInd == 0 {
+		t.Fatal("the switch's jump table must be resolved")
+	}
+	if len(rep.Funcs) < 3 { // _start, main, helper
+		t.Fatalf("functions: %d", len(rep.Funcs))
+	}
+}
+
+func TestLiftFunctionAPI(t *testing.T) {
+	bin := compileSample(t)
+	fr, err := LiftFunction(bin.ELF, bin.Funcs["helper"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Status != Lifted || !fr.Returns {
+		t.Fatalf("helper: %s", fr.Status)
+	}
+	if fr.Name != "helper" {
+		t.Fatalf("symbol name not resolved: %q", fr.Name)
+	}
+	if !strings.Contains(fr.Graph, "vertex") || !strings.Contains(fr.Graph, "edge") {
+		t.Fatal("graph dump missing")
+	}
+	if !strings.Contains(fr.Theory, "lemma hoare_") {
+		t.Fatal("theory export missing")
+	}
+}
+
+func TestVerifyAPI(t *testing.T) {
+	bin := compileSample(t)
+	fr, vr, err := VerifyFunction(bin.ELF, bin.Funcs["main"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Status != Lifted {
+		t.Fatal(fr.Status)
+	}
+	if !vr.AllProven() {
+		t.Fatalf("failures: %v", vr.Failures)
+	}
+	if vr.Proven == 0 {
+		t.Fatal("no theorems proven")
+	}
+	bvr, err := VerifyBinary(bin.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bvr.AllProven() {
+		t.Fatalf("binary failures: %v", bvr.Failures)
+	}
+}
+
+func TestFuncSymbolsAPI(t *testing.T) {
+	bin := compileSample(t)
+	syms, err := FuncSymbols(bin.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syms["main"] == 0 || syms["helper"] == 0 {
+		t.Fatalf("symbols: %v", syms)
+	}
+}
+
+func TestDisasmAPI(t *testing.T) {
+	bin := compileSample(t)
+	lines, err := Disasm(bin.ELF, bin.Funcs["helper"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 5 {
+		t.Fatalf("disassembly: %v", lines)
+	}
+	if !strings.Contains(lines[0], "push rbp") {
+		t.Fatalf("prologue: %v", lines[0])
+	}
+}
+
+func TestOptionsAblations(t *testing.T) {
+	bin := compileSample(t)
+	// Joining code pointers loses the jump-table resolution.
+	fr, err := LiftFunction(bin.ELF, bin.Funcs["main"], Options{JoinCodePointers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Stats.UnresolvedJump == 0 {
+		t.Fatalf("ablation must lose the indirection: %+v", fr.Stats)
+	}
+	// A tiny budget times out.
+	fr, err = LiftFunction(bin.ELF, bin.Funcs["main"], Options{MaxStates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Status != Timeout {
+		t.Fatalf("budget: %s", fr.Status)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	if _, err := LiftBinary([]byte("not an elf")); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	if _, err := LiftFunction(nil, 0); err == nil {
+		t.Fatal("nil input must be rejected")
+	}
+}
+
+// TestObligationSurfacesInAPI checks that the Section 5.3 obligation text
+// reaches the public report.
+func TestObligationSurfacesInAPI(t *testing.T) {
+	s, err := corpus.Ret2Win()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-serialise the scenario image through the public API.
+	fr, err := LiftFunction(elfBytes(t, s), s.FuncAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Obligations) == 0 || !strings.Contains(fr.Obligations[0], "MUST PRESERVE") {
+		t.Fatalf("obligations: %v", fr.Obligations)
+	}
+}
+
+// elfBytes returns the scenario's raw ELF image.
+func elfBytes(t *testing.T, s *corpus.Scenario) []byte {
+	t.Helper()
+	return s.Raw
+}
+
+// TestGeneratedCorpusThroughAPI lifts a few random programs through the
+// facade.
+func TestGeneratedCorpusThroughAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 5; i++ {
+		p := cgen.GenProgram(rng, 2, cgen.DefaultFeatures())
+		res, err := cgen.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := LiftBinary(res.ELF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Status != Lifted {
+			for _, fr := range rep.Funcs {
+				t.Logf("%s: %s %v", fr.Name, fr.Status, fr.Reasons)
+			}
+			t.Fatalf("trial %d: %s", i, rep.Status)
+		}
+	}
+}
+
+func TestExploitCandidatesAPI(t *testing.T) {
+	s, err := corpus.Ret2Win()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExploitCandidates(s.Raw, s.FuncAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex) != 1 || ex[0].Callee != "memset" || ex[0].OverwriteLen != 0x30 {
+		t.Fatalf("candidates: %+v", ex)
+	}
+	if !strings.Contains(ex[0].Description, "overwrites the return address") {
+		t.Fatalf("description: %q", ex[0].Description)
+	}
+}
+
+func TestFuncReportExports(t *testing.T) {
+	bin := compileSample(t)
+	fr, err := LiftFunction(bin.ELF, bin.Funcs["helper"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fr.DOT, "digraph") {
+		t.Fatal("DOT export missing")
+	}
+	if !strings.HasPrefix(string(fr.HG), "hg ") {
+		t.Fatal(".hg export missing")
+	}
+}
