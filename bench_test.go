@@ -12,8 +12,13 @@ package repro
 //
 // cmd/xenbench prints the corresponding tables; the benchmarks measure the
 // same pipelines under testing.B. Corpora are generated once per process.
+// Corpus lifts go through the pipeline scheduler exactly as cmd/xenbench
+// does; the Table 1 benchmarks run at one worker so per-directory numbers
+// stay comparable across machines, with a _parallel variant measuring the
+// pool at runtime.NumCPU().
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -21,6 +26,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/expr"
 	"repro/internal/memmodel"
+	"repro/internal/pipeline"
 	"repro/internal/pred"
 	"repro/internal/sem"
 	"repro/internal/solver"
@@ -66,42 +72,57 @@ func coreutils(b *testing.B) []*corpus.Unit {
 	return benchCU
 }
 
-// liftDir lifts every unit of a directory once.
-func liftDir(b *testing.B, dir *corpus.Directory) {
-	b.Helper()
+// dirTasks maps a directory's units onto pipeline tasks.
+func dirTasks(dir *corpus.Directory) []pipeline.Task {
+	tasks := make([]pipeline.Task, 0, len(dir.Units))
 	for _, u := range dir.Units {
 		cfg := core.DefaultConfig()
 		if u.Budget > 0 {
 			cfg.MaxStates = u.Budget
 		}
-		l := core.New(u.Image, cfg)
-		if u.Kind == corpus.KindBinary {
-			l.LiftBinary(u.Name)
-		} else {
-			l.LiftFunc(u.FuncAddr, u.Name)
-		}
+		tasks = append(tasks, pipeline.Task{
+			Name:   u.Name,
+			Img:    u.Image,
+			Addr:   u.FuncAddr,
+			Binary: u.Kind == corpus.KindBinary,
+			Cfg:    &cfg,
+		})
+	}
+	return tasks
+}
+
+// liftDir lifts every unit of a directory once through the pipeline.
+func liftDir(b *testing.B, dir *corpus.Directory, jobs int) {
+	b.Helper()
+	sum := pipeline.Run(dirTasks(dir), pipeline.Options{Jobs: jobs})
+	if sum.Panics != 0 {
+		b.Fatalf("%d lifts panicked", sum.Panics)
 	}
 }
 
-func benchDir(b *testing.B, name string) {
+func benchDir(b *testing.B, name string, jobs int) {
 	dir := table1Dirs(b)[name]
 	if dir == nil {
 		b.Fatalf("no directory %q", name)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		liftDir(b, dir)
+		liftDir(b, dir, jobs)
 	}
 }
 
-func BenchmarkTable1_bin(b *testing.B)          { benchDir(b, "bin") }
-func BenchmarkTable1_xenbin(b *testing.B)       { benchDir(b, "xen/bin") }
-func BenchmarkTable1_libexec(b *testing.B)      { benchDir(b, "libexec") }
-func BenchmarkTable1_sbin(b *testing.B)         { benchDir(b, "sbin") }
-func BenchmarkTable1_lib(b *testing.B)          { benchDir(b, "lib") }
-func BenchmarkTable1_xenfsimage(b *testing.B)   { benchDir(b, "xenfsimage") }
-func BenchmarkTable1_distpackages(b *testing.B) { benchDir(b, "dist-packages") }
-func BenchmarkTable1_lowlevel(b *testing.B)     { benchDir(b, "lowlevel") }
+func BenchmarkTable1_bin(b *testing.B)          { benchDir(b, "bin", 1) }
+func BenchmarkTable1_xenbin(b *testing.B)       { benchDir(b, "xen/bin", 1) }
+func BenchmarkTable1_libexec(b *testing.B)      { benchDir(b, "libexec", 1) }
+func BenchmarkTable1_sbin(b *testing.B)         { benchDir(b, "sbin", 1) }
+func BenchmarkTable1_lib(b *testing.B)          { benchDir(b, "lib", 1) }
+func BenchmarkTable1_xenfsimage(b *testing.B)   { benchDir(b, "xenfsimage", 1) }
+func BenchmarkTable1_distpackages(b *testing.B) { benchDir(b, "dist-packages", 1) }
+func BenchmarkTable1_lowlevel(b *testing.B)     { benchDir(b, "lowlevel", 1) }
+
+// BenchmarkTable1_lib_parallel measures the pipeline's speed-up on the
+// largest directory with the pool at full width.
+func BenchmarkTable1_lib_parallel(b *testing.B) { benchDir(b, "lib", runtime.NumCPU()) }
 
 // benchTable2 lifts one CoreUtils-shaped binary and proves every vertex —
 // the full Step 1 + Step 2 pipeline of Table 2.
@@ -115,14 +136,15 @@ func benchTable2(b *testing.B, name string) {
 	if unit == nil {
 		b.Fatalf("no unit %q", name)
 	}
+	tasks := []pipeline.Task{{Name: unit.Name, Img: unit.Image, Binary: true}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		l := core.New(unit.Image, core.DefaultConfig())
-		br := l.LiftBinary(unit.Name)
-		if br.Status != core.StatusLifted {
-			b.Fatalf("%s: %s", unit.Name, br.Status)
+		sum := pipeline.Run(tasks, pipeline.Options{Jobs: 1})
+		r := sum.Results[0]
+		if r.Status != core.StatusLifted {
+			b.Fatalf("%s: %s", unit.Name, r.Status)
 		}
-		for _, fr := range br.Funcs {
+		for _, fr := range r.Binary.Funcs {
 			rep := triple.CheckGraph(unit.Image, fr.Graph, sem.DefaultConfig(), 2)
 			if rep.Failed != 0 {
 				b.Fatalf("%s/%s: %d failed theorems", unit.Name, fr.Name, rep.Failed)

@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	hglift [-func addr|name] [-dump] [-thy] [-stats] binary.elf
+//	hglift [-func addr|name] [-dump] [-thy] [-stats] binary.elf ...
 //
 // Without -func the binary is lifted from its entry point, exploring every
 // reachable instruction including internal calls. With -func, the single
 // function is lifted the way the paper lifts exported shared-object
 // functions.
+//
+// Several binaries may be given at once; they are lifted as a batch through
+// the pipeline scheduler, fanned out across -jobs workers (0 = all CPUs),
+// each under the -timeout wall-clock budget, and summarised one line per
+// binary. The detail flags (-func, -dump, -thy, -disasm, -o, -dot) apply to
+// the single-binary form only.
 package main
 
 import (
@@ -17,11 +23,13 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"repro"
 	"repro/internal/core"
 	"repro/internal/hoare"
 	"repro/internal/image"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -31,10 +39,20 @@ func main() {
 	disasm := flag.Bool("disasm", false, "print the recovered disassembly")
 	hgOut := flag.String("o", "", "write the lifted graph to this .hg file (requires -func)")
 	dotOut := flag.String("dot", "", "write a Graphviz rendering to this file (requires -func)")
+	jobs := flag.Int("jobs", 0, "batch mode: parallel lift workers (0 = all CPUs)")
+	timeout := flag.Duration("timeout", 0, "batch mode: per-lift wall-clock budget (0 = none)")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hglift [-func addr|name] [-dump] [-thy] [-disasm] binary.elf")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: hglift [-func addr|name] [-dump] [-thy] [-disasm] [-jobs N] [-timeout d] binary.elf ...")
 		os.Exit(2)
+	}
+	if flag.NArg() > 1 {
+		if *funcSpec != "" || *dump || *thy || *disasm || *hgOut != "" || *dotOut != "" {
+			fmt.Fprintln(os.Stderr, "hglift: detail flags apply to a single binary only")
+			os.Exit(2)
+		}
+		liftBatch(flag.Args(), *jobs, *timeout)
+		return
 	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -102,6 +120,41 @@ func main() {
 		for _, l := range lines {
 			fmt.Println(l)
 		}
+	}
+}
+
+// liftBatch lifts every named binary from its entry point through the
+// pipeline scheduler and prints a one-line summary per binary plus corpus
+// totals.
+func liftBatch(paths []string, jobs int, timeout time.Duration) {
+	tasks := make([]pipeline.Task, 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		im, err := image.Load(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		tasks = append(tasks, pipeline.Task{Name: path, Img: im, Binary: true})
+	}
+	sum := pipeline.Run(tasks, pipeline.Options{Jobs: jobs, Timeout: timeout})
+	for _, r := range sum.Results {
+		fmt.Printf("%-32s %-12s instrs=%-6d states=%-6d A=%-3d B=%-3d C=%-3d %8s\n",
+			r.Name, r.Status, r.Stats.Graph.Instructions, r.Stats.Graph.States,
+			r.Stats.Graph.ResolvedInd, r.Stats.Graph.UnresolvedJump,
+			r.Stats.Graph.UnresolvedCall, r.Stats.Wall.Round(time.Millisecond))
+		if r.PanicMsg != "" {
+			fmt.Printf("  panic: %s\n", r.PanicMsg)
+		}
+	}
+	cs := sum.Cache.Stats()
+	fmt.Printf("%d lifted, %d unprovable, %d concurrency, %d timeout, %d error, %d panic in %s; solver memo %.0f%% of %d queries\n",
+		sum.Lifted, sum.Unprovable, sum.Concurrency, sum.Timeouts, sum.Errors, sum.Panics,
+		sum.Wall.Round(time.Millisecond), 100*cs.HitRate(), cs.Queries)
+	if sum.Lifted != len(sum.Results) {
+		os.Exit(1)
 	}
 }
 

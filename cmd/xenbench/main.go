@@ -10,19 +10,28 @@
 //
 // -scale shrinks the Table 1 unit counts (1.0 = the paper's 63 binaries
 // and 2151 library functions; the default keeps runtimes laptop-friendly).
+//
+// -jobs N fans the lifts of each sweep out across N pipeline workers
+// (default: all CPUs). Lifts are context-free and mutually independent, so
+// every count is identical at any job count; only wall time changes. All
+// workers share one solver memo cache, and the tables report its per-row
+// hit-rate ("Hit%") next to the per-directory wall time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/hoare"
+	"repro/internal/pipeline"
 	"repro/internal/sem"
+	"repro/internal/solver"
 	"repro/internal/triple"
 	"repro/internal/x86"
 )
@@ -36,23 +45,27 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	scale := flag.Float64("scale", 0.15, "Table 1 corpus scale (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "corpus generation seed")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel lift workers (1 = serial)")
 	flag.Parse()
 
 	if *all {
 		*table1, *table2, *fig3, *weird, *failures = true, true, true, true, true
 	}
 	if !*table1 && !*table2 && !*fig3 && !*weird && !*failures {
+		fmt.Fprintln(os.Stderr,
+			"xenbench: nothing selected: pass at least one of -table1, -table2, -fig3, -weird, -failures, or -all\n"+
+				"(-scale, -seed and -jobs only tune a selected run)")
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *table1 {
-		runTable1(*scale, *seed)
+		runTable1(*scale, *seed, *jobs)
 	}
 	if *table2 {
-		runTable2()
+		runTable2(*jobs)
 	}
 	if *fig3 {
-		runFig3(*scale, *seed)
+		runFig3(*scale, *seed, *jobs)
 	}
 	if *weird {
 		runWeird()
@@ -68,6 +81,7 @@ type dirResult struct {
 	kind                          corpus.UnitKind
 	lifted, unprov, conc, timeout int
 	stats                         hoare.Stats
+	queries, hits                 uint64
 	elapsed                       time.Duration
 	times                         []funcTime // for Figure 3
 }
@@ -77,38 +91,51 @@ type funcTime struct {
 	d      time.Duration
 }
 
-func liftDirectory(shape corpus.DirShape, seed int64) (*dirResult, error) {
-	dir, err := corpus.BuildDirectory(shape, seed)
-	if err != nil {
-		return nil, err
+// hitRate renders the row's solver memo hit-rate.
+func (r *dirResult) hitRate() string {
+	if r.queries == 0 {
+		return "-"
 	}
-	res := &dirResult{name: shape.Name, kind: shape.Kind}
-	start := time.Now()
+	return fmt.Sprintf("%.0f%%", 100*float64(r.hits)/float64(r.queries))
+}
+
+// unitTasks maps a generated directory onto pipeline tasks, one per unit.
+func unitTasks(dir *corpus.Directory) []pipeline.Task {
+	tasks := make([]pipeline.Task, 0, len(dir.Units))
 	for _, u := range dir.Units {
 		cfg := core.DefaultConfig()
 		if u.Budget > 0 {
 			cfg.MaxStates = u.Budget
 		}
-		l := core.New(u.Image, cfg)
-		t0 := time.Now()
-		var status core.Status
-		var st hoare.Stats
-		if u.Kind == corpus.KindBinary {
-			br := l.LiftBinary(u.Name)
-			status = br.Status
-			st = br.Stats
-		} else {
-			fr := l.LiftFunc(u.FuncAddr, u.Name)
-			status = fr.Status
-			st = fr.Stats()
-		}
-		d := time.Since(t0)
-		switch status {
+		tasks = append(tasks, pipeline.Task{
+			Name:   u.Name,
+			Img:    u.Image,
+			Addr:   u.FuncAddr,
+			Binary: u.Kind == corpus.KindBinary,
+			Cfg:    &cfg,
+		})
+	}
+	return tasks
+}
+
+// liftDirectory generates one Table 1 directory and lifts every unit
+// through the pipeline.
+func liftDirectory(shape corpus.DirShape, seed int64, jobs int, cache *solver.Cache) (*dirResult, error) {
+	dir, err := corpus.BuildDirectory(shape, seed)
+	if err != nil {
+		return nil, err
+	}
+	sum := pipeline.Run(unitTasks(dir), pipeline.Options{Jobs: jobs, Cache: cache})
+	res := &dirResult{name: shape.Name, kind: shape.Kind, elapsed: sum.Wall}
+	for _, r := range sum.Results {
+		res.queries += r.Stats.Sem.SolverQueries
+		res.hits += r.Stats.Sem.SolverHits
+		switch r.Status {
 		case core.StatusLifted:
 			res.lifted++
-			res.stats.Add(st)
-			res.times = append(res.times, funcTime{instrs: st.Instructions, d: d})
-		case core.StatusUnprovableRet, core.StatusError:
+			res.stats.Add(r.Stats.Graph)
+			res.times = append(res.times, funcTime{instrs: r.Stats.Graph.Instructions, d: r.Stats.Wall})
+		case core.StatusUnprovableRet, core.StatusError, core.StatusPanic:
 			res.unprov++
 		case core.StatusConcurrency:
 			res.conc++
@@ -116,17 +143,17 @@ func liftDirectory(shape corpus.DirShape, seed int64) (*dirResult, error) {
 			res.timeout++
 		}
 	}
-	res.elapsed = time.Since(start)
 	return res, nil
 }
 
-func runTable1(scale float64, seed int64) {
-	fmt.Printf("Table 1: Xen-shaped case study (scale %.2f)\n", scale)
-	fmt.Printf("%-16s %-22s %9s %9s %6s %5s %5s %10s\n",
-		"Directory", "w+x+y+z", "Instrs", "States", "A", "B", "C", "Time")
+func runTable1(scale float64, seed int64, jobs int) {
+	fmt.Printf("Table 1: Xen-shaped case study (scale %.2f, %d jobs)\n", scale, jobs)
+	fmt.Printf("%-16s %-22s %9s %9s %6s %5s %5s %6s %10s\n",
+		"Directory", "w+x+y+z", "Instrs", "States", "A", "B", "C", "Hit%", "Time")
+	cache := solver.NewCache()
 	var totals [2]dirResult
 	for _, shape := range corpus.XenSuite(scale) {
-		res, err := liftDirectory(shape, seed)
+		res, err := liftDirectory(shape, seed, jobs, cache)
 		if err != nil {
 			fatal(err)
 		}
@@ -140,6 +167,8 @@ func runTable1(scale float64, seed int64) {
 		t.conc += res.conc
 		t.timeout += res.timeout
 		t.stats.Add(res.stats)
+		t.queries += res.queries
+		t.hits += res.hits
 		t.elapsed += res.elapsed
 	}
 	totals[0].name = "Total (binaries)"
@@ -148,58 +177,68 @@ func runTable1(scale float64, seed int64) {
 	printRow(&totals[1])
 	fmt.Println("w lifted, x unprovable return address, y concurrency, z timeout")
 	fmt.Println("A resolved indirections, B unresolved jumps, C unresolved calls")
+	cs := cache.Stats()
+	fmt.Printf("solver memo: %d queries, %d hits (%.0f%%), %d entries\n",
+		cs.Queries, cs.Hits, 100*cs.HitRate(), cs.Entries)
 	fmt.Println()
 }
 
 func printRow(r *dirResult) {
 	total := r.lifted + r.unprov + r.conc + r.timeout
 	wxyz := fmt.Sprintf("%d = %d+%d+%d+%d", total, r.lifted, r.unprov, r.conc, r.timeout)
-	fmt.Printf("%-16s %-22s %9d %9d %6d %5d %5d %10s\n",
+	fmt.Printf("%-16s %-22s %9d %9d %6d %5d %5d %6s %10s\n",
 		r.name, wxyz, r.stats.Instructions, r.stats.States,
 		r.stats.ResolvedInd, r.stats.UnresolvedJump, r.stats.UnresolvedCall,
-		r.elapsed.Round(time.Millisecond))
+		r.hitRate(), r.elapsed.Round(time.Millisecond))
 }
 
-func runTable2() {
-	fmt.Println("Table 2: CoreUtils-shaped binaries exported and proven (Step 2)")
+func runTable2(jobs int) {
+	fmt.Printf("Table 2: CoreUtils-shaped binaries exported and proven (Step 2, %d jobs)\n", jobs)
 	fmt.Printf("%-10s %13s %14s %10s %10s %8s\n",
 		"Binary", "#Instructions", "#Indirections", "Proven", "Assumed", "Failed")
 	units, err := corpus.CoreUtilsSuite(1.0)
 	if err != nil {
 		fatal(err)
 	}
-	var sumI, sumInd, sumP, sumA, sumF int
+	tasks := make([]pipeline.Task, 0, len(units))
 	for _, u := range units {
-		l := core.New(u.Image, core.DefaultConfig())
-		br := l.LiftBinary(u.Name)
-		if br.Status != core.StatusLifted {
-			fmt.Printf("%-10s NOT LIFTED: %s\n", u.Name, br.Status)
+		tasks = append(tasks, pipeline.Task{Name: u.Name, Img: u.Image, Binary: true})
+	}
+	sum := pipeline.Run(tasks, pipeline.Options{Jobs: jobs})
+	var sumI, sumInd, sumP, sumA, sumF int
+	for i, r := range sum.Results {
+		if r.Status != core.StatusLifted || r.Binary == nil {
+			fmt.Printf("%-10s NOT LIFTED: %s\n", r.Name, r.Status)
 			continue
 		}
 		var proven, assumed, failed int
-		for _, fr := range br.Funcs {
-			rep := triple.CheckGraph(u.Image, fr.Graph, sem.DefaultConfig(), 2)
+		for _, fr := range r.Binary.Funcs {
+			rep := triple.CheckGraph(units[i].Image, fr.Graph, sem.DefaultConfig(), jobs)
 			proven += rep.Proven
 			assumed += rep.Assumed
 			failed += rep.Failed
 		}
 		fmt.Printf("%-10s %13d %14d %10d %10d %8d\n",
-			u.Name, br.Stats.Instructions, br.Stats.ResolvedInd, proven, assumed, failed)
-		sumI += br.Stats.Instructions
-		sumInd += br.Stats.ResolvedInd
+			r.Name, r.Stats.Graph.Instructions, r.Stats.Graph.ResolvedInd, proven, assumed, failed)
+		sumI += r.Stats.Graph.Instructions
+		sumInd += r.Stats.Graph.ResolvedInd
 		sumP += proven
 		sumA += assumed
 		sumF += failed
 	}
 	fmt.Printf("%-10s %13d %14d %10d %10d %8d\n", "Total", sumI, sumInd, sumP, sumA, sumF)
+	cs := sum.Cache.Stats()
+	fmt.Printf("lift wall time %s; solver memo %.0f%% of %d queries\n",
+		sum.Wall.Round(time.Millisecond), 100*cs.HitRate(), cs.Queries)
 	fmt.Println()
 }
 
-func runFig3(scale float64, seed int64) {
+func runFig3(scale float64, seed int64, jobs int) {
 	fmt.Println("Figure 3: verification time vs instruction count")
 	// A dedicated sweep across function sizes: 10 functions per size
 	// class, scaled by -scale.
 	res := &dirResult{}
+	cache := solver.NewCache()
 	perClass := int(10*scale + 0.5)
 	if perClass < 2 {
 		perClass = 2
@@ -209,7 +248,7 @@ func runFig3(scale float64, seed int64) {
 			Name: "fig3", Kind: corpus.KindLibFunc, Lifted: perClass,
 			MinStmts: stmts, MaxStmts: stmts, Helpers: 1,
 		}
-		r, err := liftDirectory(shape, seed+int64(stmts))
+		r, err := liftDirectory(shape, seed+int64(stmts), jobs, cache)
 		if err != nil {
 			fatal(err)
 		}

@@ -30,6 +30,7 @@ const (
 	StatusConcurrency                 // calls multithreading primitives, out of scope (y)
 	StatusTimeout                     // exploration budget exhausted (z)
 	StatusError                       // decode/fetch failure
+	StatusPanic                       // the lift panicked (recovered by the pipeline)
 )
 
 // String renders the status as in Table 1's legend.
@@ -43,6 +44,8 @@ func (s Status) String() string {
 		return "concurrency"
 	case StatusTimeout:
 		return "timeout"
+	case StatusPanic:
+		return "panic"
 	default:
 		return "error"
 	}
@@ -197,6 +200,10 @@ func (l *Lifter) LiftBinary(name string) *BinaryResult {
 	}
 	return res
 }
+
+// Counters returns the machine's solver and memory-model activity counters
+// accumulated across every function this lifter explored.
+func (l *Lifter) Counters() sem.Counters { return l.mach.Counters() }
 
 // Summaries returns all function results computed so far, ordered by
 // address.

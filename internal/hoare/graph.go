@@ -148,6 +148,9 @@ type Stats struct {
 	Obligations    int
 	Assumptions    int
 	WeirdVertices  int
+	// Joins counts invariant weakenings: how many times some vertex's
+	// state was joined with an incoming state during exploration.
+	Joins int
 }
 
 // Stats computes the summary.
@@ -158,6 +161,9 @@ func (g *Graph) Stats() Stats {
 		Edges:        len(g.Edges),
 		Obligations:  len(g.Obligations),
 		Assumptions:  len(g.Assumptions),
+	}
+	for _, v := range g.Vertices {
+		s.Joins += v.Joins
 	}
 	for _, ok := range g.Resolved {
 		if ok {
@@ -206,6 +212,7 @@ func (s *Stats) Add(o Stats) {
 	s.Obligations += o.Obligations
 	s.Assumptions += o.Assumptions
 	s.WeirdVertices += o.WeirdVertices
+	s.Joins += o.Joins
 }
 
 // SortedVertices returns the vertices ordered by address then ID.

@@ -1,3 +1,55 @@
+// This file implements the .hg interchange format: Marshal writes a Hoare
+// graph as line-oriented text, Load reads it back against the binary image
+// it was extracted from (instructions are stored by address only and
+// re-fetched, so a .hg file cannot silently drift from its binary).
+//
+// Grammar (one record per line; indented lines are clauses of the most
+// recent vertex; blank lines are ignored; EXPR is the canonical expression
+// syntax of expr.Parse, e.g. "(add rsp0 0xfffffffffffffff8)"):
+//
+//	file       = header entry vertex* edge* annotation* obligation* assumption*
+//	header     = "hg" ADDR NAME RETSYM
+//	entry      = "entry" VERTEXID
+//	vertex     = "vertex" VERTEXID ADDR clause*
+//	clause     = " reg"   REGNAME EXPR
+//	           | " flag"  FLAGNAME EXPR
+//	           | " cmp"   ("sub"|"and") SIZE EXPR EXPR
+//	           | " mem"   EXPR SIZE EXPR
+//	           | " range" EXPR LO HI
+//	           | " model" forest
+//	forest     = tree*
+//	tree       = "(" region+ "(" forest ")" ")"
+//	region     = EXPR "#" SIZE
+//	edge       = "edge" FROM TO KIND ADDR (CALLEE | "-")
+//	annotation = "annotation" ADDR KIND TEXT
+//	obligation = "obligation" TEXT
+//	assumption = "assumption" TEXT
+//
+// Worked example — a two-instruction function "push rbp; ret" at 0x401000
+// (the entry vertex binds rsp and the saved rbp; the ret vertex has popped
+// the stack back and still satisfies return address integrity):
+//
+//	hg 0x401000 f retsym
+//	entry 401000
+//	vertex 401000 0x401000
+//	 reg rbp rbp0
+//	 reg rsp rsp0
+//	 range rsp0 0x10000 0x7fffffffffff
+//	 model ((add rsp0 -8)#8 ())
+//	vertex 401001 0x401001
+//	 reg rbp rbp0
+//	 reg rsp (add rsp0 -8)
+//	 mem (add rsp0 -8) 8 rbp0
+//	 model ((add rsp0 -8)#8 ())
+//	vertex exit 0x0
+//	edge 401000 401001 0 0x401000 -
+//	edge 401001 exit 3 0x401001 -
+//	assumption @401000 : [rsp0, 8] READABLE
+//
+// Vertex clause order is canonical (registers in GPR order, then flags,
+// cmp, memory, ranges, model), so Marshal∘Load∘Marshal is the identity on
+// the textual form.
+
 package hoare
 
 import (

@@ -2,22 +2,33 @@
 // Definition 3.1: given an address it soundly retrieves a single decoded
 // instruction, and it answers the read-only data and PLT queries the
 // lifter needs (jump-table contents, external-function names).
+//
+// An Image is safe for concurrent readers: the parsed file and PLT map are
+// immutable after construction, and the decode cache behind Fetch is
+// guarded by a lock, so the pipeline's lift workers and the Step-2 triple
+// checkers may share one image.
 package image
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/elf64"
 	"repro/internal/x86"
 )
 
-// Image is a loaded binary.
+// Image is a loaded binary. The file and plt fields are read-only after
+// FromFile returns; instCach is the only mutable state and is guarded by
+// cacheMu (Step 2 checks vertices of one graph in parallel against a
+// single image, and the pipeline shares images between lifts and checks).
 type Image struct {
-	file     *elf64.File
-	textLo   uint64
-	textHi   uint64
-	plt      map[uint64]string
+	file   *elf64.File
+	textLo uint64
+	textHi uint64
+	plt    map[uint64]string
+
+	cacheMu  sync.RWMutex
 	instCach map[uint64]x86.Inst
 }
 
@@ -67,8 +78,13 @@ func (im *Image) InText(addr uint64) bool {
 }
 
 // Fetch decodes the single instruction at addr (Definition 3.1's fetch).
+// Decoding is deterministic, so concurrent misses at the same address
+// store the same instruction; the decode itself runs outside the lock.
 func (im *Image) Fetch(addr uint64) (x86.Inst, error) {
-	if inst, ok := im.instCach[addr]; ok {
+	im.cacheMu.RLock()
+	inst, ok := im.instCach[addr]
+	im.cacheMu.RUnlock()
+	if ok {
 		return inst, nil
 	}
 	s := im.file.SectionAt(addr)
@@ -79,7 +95,9 @@ func (im *Image) Fetch(addr uint64) (x86.Inst, error) {
 	if err != nil {
 		return x86.Inst{}, err
 	}
+	im.cacheMu.Lock()
 	im.instCach[addr] = inst
+	im.cacheMu.Unlock()
 	return inst, nil
 }
 

@@ -1,0 +1,233 @@
+// Package pipeline schedules whole-corpus lifting across a bounded pool of
+// worker goroutines. The paper's observation that Step-2 Hoare triples are
+// "mutually independent (parallelisable)" holds one level up as well: each
+// function is lifted context-free exactly once, from the exact same initial
+// state, so the lifts of a corpus (Table 1's eight directories, Table 2's
+// six binaries, Figure 3's size sweep) are embarrassingly parallel.
+//
+// Run fans a slice of Tasks out across runtime.NumCPU() workers (ForEach is
+// the shared pool primitive, also used by the Step-2 checker). Each lift
+// runs under a wall-clock watchdog and a panic guard: a pathological
+// function reports core.StatusTimeout or core.StatusPanic instead of
+// wedging a worker or killing the run — this is how the paper's Table 1
+// "timeout" column (z) arises under a wall-clock budget. Per lift, a Stats
+// record collects the extracted graph's statistics (instructions decoded,
+// vertices, joins, edges) alongside the machine's solver and memory-model
+// counters (queries, memo-cache hits, forks, destroys) and the wall time;
+// the Summary aggregates them corpus-wide in deterministic input order, so
+// counts are identical at -jobs 1 and -jobs N.
+//
+// Workers share a single solver memo cache (solver.Cache): verdicts on
+// compiler-generated linear address forms repeat heavily across vertices of
+// the same function and, for stack-relative regions, across functions, and
+// the verdict is a pure function of the cache key, so sharing the cache
+// changes no result.
+package pipeline
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hoare"
+	"repro/internal/image"
+	"repro/internal/sem"
+	"repro/internal/solver"
+)
+
+// Task is one lift to schedule: a whole binary from its entry point
+// (Binary true — Table 1's upper part) or a single function at Addr
+// (Table 1's lower part, the shared-object workflow).
+type Task struct {
+	Name   string
+	Img    *image.Image
+	Addr   uint64 // function entry; ignored when Binary
+	Binary bool
+	// Cfg overrides the lifter configuration (nil = core.DefaultConfig()).
+	// The scheduler copies it before installing the shared solver cache
+	// and the per-lift timeout.
+	Cfg *core.Config
+}
+
+// Options tunes a Run.
+type Options struct {
+	// Jobs is the worker count; ≤ 0 selects runtime.NumCPU().
+	Jobs int
+	// Timeout is the per-lift wall-clock budget (0 = none). It is enforced
+	// twice: cooperatively, via core.Config.Timeout checked at every
+	// exploration step, and by a watchdog that abandons a lift which stops
+	// making steps at all; either way the lift reports StatusTimeout.
+	Timeout time.Duration
+	// Cache is the shared solver memo cache (nil = one fresh cache per
+	// Run). Pass an explicit cache to share verdicts across several Runs,
+	// e.g. across the directories of a Table 1 sweep.
+	Cache *solver.Cache
+}
+
+// Stats is the per-lift statistics record, also used for corpus totals.
+type Stats struct {
+	// Graph summarises the extracted Hoare graph(s): instructions decoded,
+	// vertices (states), joins, edges, Table 1's A/B/C columns.
+	Graph hoare.Stats
+	// Sem tallies the machine's solver queries, memo-cache hits, memory-
+	// model forks and destroys during the lift.
+	Sem sem.Counters
+	// Wall is the lift's wall-clock time (for totals: the sum over lifts,
+	// which exceeds the Run's Wall when jobs > 1).
+	Wall time.Duration
+}
+
+// Add accumulates another record.
+func (s *Stats) Add(o Stats) {
+	s.Graph.Add(o.Graph)
+	s.Sem.Add(o.Sem)
+	s.Wall += o.Wall
+}
+
+// SolverHitRate returns the fraction of solver queries answered from the
+// memo cache.
+func (s Stats) SolverHitRate() float64 {
+	if s.Sem.SolverQueries == 0 {
+		return 0
+	}
+	return float64(s.Sem.SolverHits) / float64(s.Sem.SolverQueries)
+}
+
+// Result is the outcome of one scheduled lift.
+type Result struct {
+	Name   string
+	Index  int // position in the input task slice
+	Status core.Status
+	// Func is set for function tasks, Binary for whole-binary tasks; both
+	// are nil when the lift panicked or was abandoned by the watchdog.
+	Func   *core.FuncResult
+	Binary *core.BinaryResult
+	Stats  Stats
+	// PanicMsg carries the recovered panic value for StatusPanic results.
+	PanicMsg string
+}
+
+// Summary aggregates a Run. Results are in task order regardless of the
+// execution interleaving, and every counter is summed in that order, so a
+// Summary is deterministic in the inputs.
+type Summary struct {
+	Results []Result
+	// Per-status counts in the shape of Table 1's w + x + y + z
+	// decomposition (Errors and Panics are reported separately but belong
+	// to the x column when printed in table form).
+	Lifted, Unprovable, Concurrency, Timeouts, Errors, Panics int
+	// Stats sums every lift's record (all statuses).
+	Stats Stats
+	// Wall is the wall-clock time of the whole Run.
+	Wall time.Duration
+	// Cache is the Run's solver cache (shared or per-Run), for corpus-wide
+	// hit-rate reporting.
+	Cache *solver.Cache
+}
+
+// testHookLiftStart, when set, runs at the start of every lift on the
+// worker's lift goroutine. Tests use it to wedge a lift and exercise the
+// watchdog path; it is atomic because an abandoned lift may still read it
+// after its Run returned.
+var testHookLiftStart atomic.Pointer[func(name string)]
+
+// Run lifts every task and aggregates the outcomes.
+func Run(tasks []Task, opts Options) *Summary {
+	if opts.Cache == nil {
+		opts.Cache = solver.NewCache()
+	}
+	sum := &Summary{Results: make([]Result, len(tasks)), Cache: opts.Cache}
+	start := time.Now()
+	ForEach(opts.Jobs, len(tasks), func(i int) {
+		sum.Results[i] = runOne(tasks[i], i, opts)
+	})
+	sum.Wall = time.Since(start)
+	for i := range sum.Results {
+		r := &sum.Results[i]
+		sum.Stats.Add(r.Stats)
+		switch r.Status {
+		case core.StatusLifted:
+			sum.Lifted++
+		case core.StatusUnprovableRet:
+			sum.Unprovable++
+		case core.StatusConcurrency:
+			sum.Concurrency++
+		case core.StatusTimeout:
+			sum.Timeouts++
+		case core.StatusPanic:
+			sum.Panics++
+		default:
+			sum.Errors++
+		}
+	}
+	return sum
+}
+
+// runOne executes a single lift under the watchdog and panic guard. The
+// lift itself runs on a child goroutine; if it exceeds the watchdog budget
+// the worker abandons it (the cooperative core timeout will terminate the
+// orphan at its next exploration step) and reports a timeout, so one
+// wedged lift can never stall the whole corpus.
+func runOne(t Task, idx int, opts Options) Result {
+	done := make(chan Result, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- Result{
+					Name:     t.Name,
+					Index:    idx,
+					Status:   core.StatusPanic,
+					PanicMsg: fmt.Sprint(r),
+				}
+			}
+		}()
+		if hook := testHookLiftStart.Load(); hook != nil {
+			(*hook)(t.Name)
+		}
+		done <- lift(t, idx, opts)
+	}()
+	if opts.Timeout <= 0 {
+		return <-done
+	}
+	// The watchdog allows double the cooperative budget plus scheduling
+	// slack before abandoning: a lift that is merely slow still reports
+	// its own (cooperative, deterministic) timeout result.
+	watchdog := time.NewTimer(2*opts.Timeout + 250*time.Millisecond)
+	defer watchdog.Stop()
+	select {
+	case r := <-done:
+		return r
+	case <-watchdog.C:
+		return Result{Name: t.Name, Index: idx, Status: core.StatusTimeout}
+	}
+}
+
+// lift runs the task's lifter and collects its statistics.
+func lift(t Task, idx int, opts Options) Result {
+	cfg := core.DefaultConfig()
+	if t.Cfg != nil {
+		cfg = *t.Cfg
+	}
+	cfg.Sem.SolverCache = opts.Cache
+	if opts.Timeout > 0 && (cfg.Timeout == 0 || opts.Timeout < cfg.Timeout) {
+		cfg.Timeout = opts.Timeout
+	}
+	l := core.New(t.Img, cfg)
+	res := Result{Name: t.Name, Index: idx}
+	start := time.Now()
+	if t.Binary {
+		br := l.LiftBinary(t.Name)
+		res.Binary = br
+		res.Status = br.Status
+		res.Stats.Graph = br.Stats
+	} else {
+		fr := l.LiftFunc(t.Addr, t.Name)
+		res.Func = fr
+		res.Status = fr.Status
+		res.Stats.Graph = fr.Stats()
+	}
+	res.Stats.Wall = time.Since(start)
+	res.Stats.Sem = l.Counters()
+	return res
+}

@@ -1,0 +1,52 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0) … fn(n−1) across a bounded pool of workers and waits
+// for all of them. jobs ≤ 0 selects runtime.NumCPU(). With jobs == 1 the
+// calls run in order on the calling goroutine (no scheduling overhead, and
+// a deterministic execution order for debugging).
+//
+// This is the one worker-pool implementation shared by the lift scheduler
+// (Run) and the Step-2 triple checker: both workloads are embarrassingly
+// parallel — per-lift and per-vertex obligations are mutually independent —
+// so a work-stealing counter over a fixed index range is all that is
+// needed. fn must confine writes to its own index's slot; panics are NOT
+// recovered here (Run layers per-lift recovery on top).
+func ForEach(jobs, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -75,6 +75,11 @@ type Pred struct {
 	cmp    *Cmp
 	mem    map[string]MemEntry
 	ranges map[string]rangeInfo
+
+	// rkey caches RangesKey; invalidated whenever the interval clause set
+	// mutates (AddRange). Strings are immutable, so Clone may share it.
+	rkey   string
+	rkeyOK bool
 }
 
 type rangeInfo struct {
@@ -151,6 +156,8 @@ func (p *Pred) Clone() *Pred {
 		cmp:    p.cmp,
 		mem:    make(map[string]MemEntry, len(p.mem)),
 		ranges: make(map[string]rangeInfo, len(p.ranges)),
+		rkey:   p.rkey,
+		rkeyOK: p.rkeyOK,
 	}
 	for k, v := range p.mem {
 		q.mem[k] = v
@@ -252,6 +259,7 @@ func (p *Pred) AddRange(e *expr.Expr, r Range) {
 	if r.Lo == 0 && r.Hi == ^uint64(0) {
 		return // vacuous
 	}
+	p.rkeyOK = false
 	if w, ok := e.AsWord(); ok {
 		if !r.Contains(w) {
 			p.bot = true
@@ -514,6 +522,30 @@ func (p *Pred) Clauses() []string {
 // fixed point (σ ⊑ σc iff σ ⊔ σc has the same key as σc).
 func (p *Pred) Key() string {
 	return strings.Join(p.Clauses(), ";")
+}
+
+// RangesKey returns a canonical fingerprint of the interval clause set
+// alone. The solver's verdicts depend on the predicate only through RangeOf
+// — i.e. through the interval clauses — so this key is sound for memoizing
+// Compare while being far cheaper than Key. The result is cached until the
+// next AddRange.
+func (p *Pred) RangesKey() string {
+	if p.rkeyOK {
+		return p.rkey
+	}
+	keys := make([]string, 0, len(p.ranges))
+	for k := range p.ranges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		ri := p.ranges[k]
+		fmt.Fprintf(&b, "%s=%x:%x;", k, ri.r.Lo, ri.r.Hi)
+	}
+	p.rkey = b.String()
+	p.rkeyOK = true
+	return p.rkey
 }
 
 // String renders the predicate for humans.

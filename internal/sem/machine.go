@@ -7,6 +7,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/image"
 	"repro/internal/memmodel"
+	"repro/internal/pred"
 	"repro/internal/solver"
 	"repro/internal/x86"
 )
@@ -23,6 +24,13 @@ type Config struct {
 	// vs globals) are assumed separate, and each such assumption is
 	// recorded and exported as a proof obligation.
 	AssumeBaseSeparation bool
+	// SolverCache, when non-nil, memoizes solver verdicts across machines
+	// (and, being concurrency-safe, across the pipeline's lift workers).
+	// Caching is exact: verdicts are pure in the predicate's interval
+	// clauses and the region pair. The separation assumptions layered on
+	// top of the raw verdict are applied after the cache, so the recorded
+	// assumption side effects are never skipped.
+	SolverCache *solver.Cache
 }
 
 // DefaultConfig returns the configuration matching the paper's algorithm.
@@ -45,6 +53,64 @@ type Machine struct {
 	assumptions map[string]bool
 	curAddr     uint64
 	nfresh      int
+	counters    Counters
+}
+
+// Counters tallies the solver and memory-model activity of one machine —
+// the per-lift half of the pipeline's statistics record. A machine is used
+// by a single goroutine, so the fields are plain integers; cross-worker
+// totals are summed by the pipeline after each lift completes.
+type Counters struct {
+	// SolverQueries counts oracle comparisons issued during symbolic
+	// execution; SolverHits counts those answered from the shared memo
+	// cache (0 when no cache is configured).
+	SolverQueries uint64
+	SolverHits    uint64
+	// Forks counts extra memory models produced by undecided insertions
+	// (each Ins returning n models adds n−1); Destroys counts produced
+	// models in which some region was destroyed.
+	Forks    uint64
+	Destroys uint64
+}
+
+// Add accumulates another counter record.
+func (c *Counters) Add(o Counters) {
+	c.SolverQueries += o.SolverQueries
+	c.SolverHits += o.SolverHits
+	c.Forks += o.Forks
+	c.Destroys += o.Destroys
+}
+
+// Counters returns the machine's activity counters.
+func (m *Machine) Counters() Counters { return m.counters }
+
+// compare answers a solver query through the memo cache when one is
+// configured, counting queries and hits.
+func (m *Machine) compare(p *pred.Pred, r0, r1 solver.Region) solver.Result {
+	m.counters.SolverQueries++
+	if c := m.Cfg.SolverCache; c != nil {
+		res, hit := c.Compare(p, r0, r1)
+		if hit {
+			m.counters.SolverHits++
+		}
+		return res
+	}
+	return solver.Compare(p, r0, r1)
+}
+
+// noteIns records the fork/destroy fan-out of one memory-model insertion.
+func (m *Machine) noteIns(results []memmodel.InsResult) {
+	if len(results) > 1 {
+		m.counters.Forks += uint64(len(results) - 1)
+	}
+	for _, res := range results {
+		for _, rel := range res.Rel {
+			if rel == memmodel.RelDestroyed {
+				m.counters.Destroys++
+				break
+			}
+		}
+	}
 }
 
 // NewMachine returns a machine over the image.
@@ -88,7 +154,7 @@ type oracle struct {
 // Compare answers a necessarily-relation query; undecided cross-provenance
 // pairs are assumed separate (recorded as a proof obligation).
 func (o oracle) Compare(r0, r1 solver.Region) solver.Result {
-	res := solver.Compare(o.s.Pred, r0, r1)
+	res := o.m.compare(o.s.Pred, r0, r1)
 	if res.Decided() || !o.m.Cfg.AssumeBaseSeparation {
 		return res
 	}

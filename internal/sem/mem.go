@@ -56,6 +56,7 @@ func (m *Machine) readMem(st *State, addr *expr.Expr, size int) []valState {
 	// General case: insert the region into the memory model; derive the
 	// value per produced model.
 	results := memmodel.Ins(memmodel.NewRegion(addr, uint64(size)), st.Mem, oracle{m, st}, m.Cfg.MM)
+	m.noteIns(results)
 	out := make([]valState, 0, len(results))
 	freshVal := m.fresh() // same variable in every fork: deterministic
 	for i, res := range results {
@@ -130,6 +131,7 @@ func (m *Machine) writeMem(st *State, addr *expr.Expr, size int, val *expr.Expr)
 		return []*State{st}
 	}
 	results := memmodel.Ins(memmodel.NewRegion(addr, uint64(size)), st.Mem, oracle{m, st}, m.Cfg.MM)
+	m.noteIns(results)
 	out := make([]*State, 0, len(results))
 	for i, res := range results {
 		s := st

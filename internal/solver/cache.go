@@ -1,0 +1,92 @@
+package solver
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pred"
+)
+
+// CacheStats reports the query/hit counters of a Cache.
+type CacheStats struct {
+	Queries uint64
+	Hits    uint64
+	Entries int
+}
+
+// HitRate returns the fraction of queries answered from the cache.
+func (s CacheStats) HitRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Queries)
+}
+
+// Cache memoizes Compare verdicts. Compiler-generated address arithmetic is
+// linear in a handful of symbolic bases, so the same (predicate, region
+// pair) query recurs heavily across the vertices of a function — and, for
+// stack-relative regions, across functions of a whole corpus. The key is
+// the pair of region keys plus the predicate's interval fingerprint
+// (pred.RangesKey): Compare consults the predicate only through RangeOf,
+// i.e. only through the interval clauses, so the fingerprint is exact.
+//
+// A Cache is safe for concurrent use by the pipeline's lift workers.
+type Cache struct {
+	mu      sync.RWMutex
+	m       map[string]Result
+	queries atomic.Uint64
+	hits    atomic.Uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: map[string]Result{}}
+}
+
+// Compare answers like the package-level Compare, consulting the memo
+// first. The second result reports whether the verdict was a cache hit.
+func (c *Cache) Compare(p *pred.Pred, r0, r1 Region) (Result, bool) {
+	c.queries.Add(1)
+	key := cacheKey(p, r0, r1)
+	c.mu.RLock()
+	res, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return res, true
+	}
+	res = Compare(p, r0, r1)
+	c.mu.Lock()
+	c.m[key] = res
+	c.mu.Unlock()
+	return res, false
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return CacheStats{
+		Queries: c.queries.Load(),
+		Hits:    c.hits.Load(),
+		Entries: n,
+	}
+}
+
+// cacheKey builds the memo key. The separator byte cannot occur in
+// expression keys, keeping the concatenation unambiguous.
+func cacheKey(p *pred.Pred, r0, r1 Region) string {
+	var b []byte
+	b = append(b, p.RangesKey()...)
+	b = append(b, 0)
+	b = append(b, r0.Addr.Key()...)
+	b = append(b, '#')
+	b = strconv.AppendUint(b, r0.Size, 10)
+	b = append(b, 0)
+	b = append(b, r1.Addr.Key()...)
+	b = append(b, '#')
+	b = strconv.AppendUint(b, r1.Size, 10)
+	return string(b)
+}

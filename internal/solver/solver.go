@@ -6,6 +6,12 @@
 // so the solver subtracts linear normal forms and reasons over the constant
 // or interval-valued difference. Anything outside that fragment yields
 // Maybe, which soundly forces the lifter onto its fork/destroy paths.
+//
+// Compare is a pure function of the predicate's interval clauses and the
+// two regions, which makes its verdicts memoizable: Cache wraps it with a
+// concurrency-safe memo table keyed on that exact input fingerprint
+// (pred.RangesKey plus the regions' canonical keys), shared by the
+// pipeline's lift workers.
 package solver
 
 import (

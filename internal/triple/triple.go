@@ -13,12 +13,12 @@ package triple
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/expr"
 	"repro/internal/hoare"
 	"repro/internal/image"
 	"repro/internal/memmodel"
+	"repro/internal/pipeline"
 	"repro/internal/pred"
 	"repro/internal/sem"
 	"repro/internal/x86"
@@ -68,29 +68,17 @@ type Report struct {
 func (r *Report) AllProven() bool { return r.Failed == 0 }
 
 // CheckGraph re-verifies every vertex of the graph, independently and in
-// parallel across the given number of workers.
+// parallel across the given number of workers (the theorems are mutually
+// independent, so the pipeline's worker pool fans them out directly).
 func CheckGraph(img *image.Image, g *hoare.Graph, cfg sem.Config, workers int) *Report {
 	vertices := g.SortedVertices()
 	rep := &Report{Func: g.FuncName, Theorems: make([]Theorem, len(vertices))}
 	if workers < 1 {
 		workers = 1
 	}
-	var wg sync.WaitGroup
-	idx := make(chan int, len(vertices))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				rep.Theorems[i] = checkVertex(img, g, cfg, vertices[i])
-			}
-		}()
-	}
-	for i := range vertices {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	pipeline.ForEach(workers, len(vertices), func(i int) {
+		rep.Theorems[i] = checkVertex(img, g, cfg, vertices[i])
+	})
 	for _, th := range rep.Theorems {
 		switch th.Verdict {
 		case Proven:
