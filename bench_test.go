@@ -18,6 +18,7 @@ package repro
 // pool at runtime.NumCPU().
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -26,11 +27,11 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/expr"
 	"repro/internal/memmodel"
-	"repro/internal/pipeline"
 	"repro/internal/pred"
 	"repro/internal/sem"
 	"repro/internal/solver"
 	"repro/internal/triple"
+	"repro/lift"
 )
 
 // benchScale keeps per-iteration work benchmark-friendly; cmd/xenbench
@@ -72,29 +73,11 @@ func coreutils(b *testing.B) []*corpus.Unit {
 	return benchCU
 }
 
-// dirTasks maps a directory's units onto pipeline tasks.
-func dirTasks(dir *corpus.Directory) []pipeline.Task {
-	tasks := make([]pipeline.Task, 0, len(dir.Units))
-	for _, u := range dir.Units {
-		cfg := core.DefaultConfig()
-		if u.Budget > 0 {
-			cfg.MaxStates = u.Budget
-		}
-		tasks = append(tasks, pipeline.Task{
-			Name:   u.Name,
-			Img:    u.Image,
-			Addr:   u.FuncAddr,
-			Binary: u.Kind == corpus.KindBinary,
-			Cfg:    &cfg,
-		})
-	}
-	return tasks
-}
-
-// liftDir lifts every unit of a directory once through the pipeline.
+// liftDir lifts every unit of a directory once through the facade (which
+// honours each unit's step budget via lift.UnitRequests).
 func liftDir(b *testing.B, dir *corpus.Directory, jobs int) {
 	b.Helper()
-	sum := pipeline.Run(dirTasks(dir), pipeline.Options{Jobs: jobs})
+	sum := lift.Run(context.Background(), lift.UnitRequests(dir.Units), lift.Jobs(jobs))
 	if sum.Panics != 0 {
 		b.Fatalf("%d lifts panicked", sum.Panics)
 	}
@@ -136,16 +119,15 @@ func benchTable2(b *testing.B, name string) {
 	if unit == nil {
 		b.Fatalf("no unit %q", name)
 	}
-	tasks := []pipeline.Task{{Name: unit.Name, Img: unit.Image, Binary: true}}
+	req := lift.Binary(unit.Name, unit.Image)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sum := pipeline.Run(tasks, pipeline.Options{Jobs: 1})
-		r := sum.Results[0]
+		r := lift.One(context.Background(), req, lift.Jobs(1))
 		if r.Status != core.StatusLifted {
 			b.Fatalf("%s: %s", unit.Name, r.Status)
 		}
 		for _, fr := range r.Binary.Funcs {
-			rep := triple.CheckGraph(unit.Image, fr.Graph, sem.DefaultConfig(), 2)
+			rep := triple.Check(context.Background(), unit.Image, fr.Graph, sem.DefaultConfig(), triple.Workers(2))
 			if rep.Failed != 0 {
 				b.Fatalf("%s/%s: %d failed theorems", unit.Name, fr.Name, rep.Failed)
 			}
@@ -202,7 +184,7 @@ func BenchmarkWeirdEdge(b *testing.B) {
 		if r.Status != core.StatusLifted {
 			b.Fatal(r.Status)
 		}
-		rep := triple.CheckGraph(s.Image, r.Graph, sem.DefaultConfig(), 2)
+		rep := triple.Check(context.Background(), s.Image, r.Graph, sem.DefaultConfig(), triple.Workers(2))
 		if rep.Failed != 0 {
 			b.Fatal("weird-edge theorems failed")
 		}

@@ -16,21 +16,76 @@
 // each under the -timeout wall-clock budget, and summarised one line per
 // binary. The detail flags (-func, -dump, -thy, -disasm, -o, -dot) apply to
 // the single-binary form only.
+//
+// Observability flags apply to every form:
+//
+//	-trace out.jsonl   write every lift/solver/memory-model event as JSONL
+//	-metrics           print the aggregated metrics registry on exit
+//	-pprof addr        serve net/http/pprof on addr (e.g. localhost:6060)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"sort"
 	"strconv"
 	"time"
 
-	"repro"
 	"repro/internal/core"
 	"repro/internal/hoare"
 	"repro/internal/image"
-	"repro/internal/pipeline"
+	"repro/internal/obs"
+	"repro/internal/triple"
+	"repro/lift"
 )
+
+// observer wires the -trace/-metrics flags into obs sinks shared by every
+// lifting path. flush must run before any normal or error exit so the
+// trace file is complete and the metrics dump is printed.
+type observer struct {
+	opts    []lift.Option
+	jsonl   *obs.JSONL
+	file    *os.File
+	metrics *obs.Metrics
+}
+
+func newObserver(tracePath string, withMetrics bool) *observer {
+	o := &observer{}
+	var sinks []obs.Sink
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		o.file = f
+		o.jsonl = obs.NewJSONL(f)
+		sinks = append(sinks, o.jsonl)
+	}
+	if withMetrics {
+		o.metrics = obs.NewMetrics()
+		sinks = append(sinks, o.metrics)
+	}
+	if len(sinks) > 0 {
+		o.opts = []lift.Option{lift.Observe(sinks...)}
+	}
+	return o
+}
+
+func (o *observer) flush() {
+	if o.jsonl != nil {
+		if err := o.jsonl.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "hglift: trace:", err)
+		}
+		o.file.Close()
+	}
+	if o.metrics != nil {
+		fmt.Print(o.metrics.Dump())
+	}
+}
 
 func main() {
 	funcSpec := flag.String("func", "", "lift a single function: hex address or symbol name")
@@ -40,94 +95,103 @@ func main() {
 	hgOut := flag.String("o", "", "write the lifted graph to this .hg file (requires -func)")
 	dotOut := flag.String("dot", "", "write a Graphviz rendering to this file (requires -func)")
 	jobs := flag.Int("jobs", 0, "batch mode: parallel lift workers (0 = all CPUs)")
-	timeout := flag.Duration("timeout", 0, "batch mode: per-lift wall-clock budget (0 = none)")
+	timeout := flag.Duration("timeout", 0, "per-lift wall-clock budget (0 = none)")
+	traceOut := flag.String("trace", "", "write a JSONL event trace to this file")
+	showMetrics := flag.Bool("metrics", false, "print the aggregated metrics registry on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: hglift [-func addr|name] [-dump] [-thy] [-disasm] [-jobs N] [-timeout d] binary.elf ...")
+		fmt.Fprintln(os.Stderr, "usage: hglift [-func addr|name] [-dump] [-thy] [-disasm] [-jobs N] [-timeout d] [-trace f] [-metrics] [-pprof addr] binary.elf ...")
 		os.Exit(2)
 	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "hglift: pprof:", err)
+			}
+		}()
+	}
+	ctx := context.Background()
+	obsv := newObserver(*traceOut, *showMetrics)
+
 	if flag.NArg() > 1 {
 		if *funcSpec != "" || *dump || *thy || *disasm || *hgOut != "" || *dotOut != "" {
 			fmt.Fprintln(os.Stderr, "hglift: detail flags apply to a single binary only")
 			os.Exit(2)
 		}
-		liftBatch(flag.Args(), *jobs, *timeout)
+		liftBatch(ctx, flag.Args(), *jobs, *timeout, obsv)
 		return
 	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
+	im, err := image.Load(data)
+	if err != nil {
+		fatal(err)
+	}
+	opts := append([]lift.Option{lift.Jobs(1), lift.Timeout(*timeout)}, obsv.opts...)
 
 	if *funcSpec == "" {
-		rep, err := repro.LiftBinary(data)
-		if err != nil {
-			fatal(err)
+		res := lift.One(ctx, lift.Binary(flag.Arg(0), im), opts...)
+		br := res.Binary
+		if br == nil {
+			obsv.flush()
+			fatal(fmt.Errorf("lift %s: %s %s", flag.Arg(0), res.Status, res.PanicMsg))
 		}
-		fmt.Printf("binary: %s\n", rep.Status)
-		printStats(rep.Stats)
-		for _, fr := range rep.Funcs {
+		fmt.Printf("binary: %s\n", br.Status)
+		printStats(br.Stats)
+		for _, fr := range br.Funcs {
+			st := fr.Stats()
 			fmt.Printf("  %-24s %-28s instrs=%-5d states=%-5d A=%d B=%d C=%d\n",
-				fr.Name, fr.Status, fr.Stats.Instructions, fr.Stats.States,
-				fr.Stats.ResolvedInd, fr.Stats.UnresolvedJump, fr.Stats.UnresolvedCall)
+				fr.Name, fr.Status, st.Instructions, st.States,
+				st.ResolvedInd, st.UnresolvedJump, st.UnresolvedCall)
 			printDetails(fr, *dump, *thy)
 		}
+		obsv.flush()
 		return
 	}
 
-	addr, err := resolveFunc(data, *funcSpec)
+	addr, name, err := resolveFunc(im, *funcSpec)
 	if err != nil {
 		fatal(err)
 	}
-	fr, err := repro.LiftFunction(data, addr)
-	if err != nil {
-		fatal(err)
+	res := lift.One(ctx, lift.Func(name, im, addr), opts...)
+	fr := res.Func
+	if fr == nil {
+		obsv.flush()
+		fatal(fmt.Errorf("lift %s: %s %s", name, res.Status, res.PanicMsg))
 	}
-	if *hgOut != "" || *dotOut != "" {
-		im, err := image.Load(data)
-		if err != nil {
+	if fr.Graph != nil && *hgOut != "" {
+		if err := os.WriteFile(*hgOut, hoare.Marshal(fr.Graph), 0o644); err != nil {
 			fatal(err)
 		}
-		l := core.New(im, core.DefaultConfig())
-		res := l.LiftFunc(addr, fr.Name)
-		if res.Graph == nil {
-			fatal(fmt.Errorf("no graph to export"))
+		fmt.Println("graph written to", *hgOut)
+	}
+	if fr.Graph != nil && *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(fr.Graph.ToDOT()), 0o644); err != nil {
+			fatal(err)
 		}
-		if *hgOut != "" {
-			if err := os.WriteFile(*hgOut, hoare.Marshal(res.Graph), 0o644); err != nil {
-				fatal(err)
-			}
-			fmt.Println("graph written to", *hgOut)
-		}
-		if *dotOut != "" {
-			if err := os.WriteFile(*dotOut, []byte(res.Graph.ToDOT()), 0o644); err != nil {
-				fatal(err)
-			}
-			fmt.Println("dot written to", *dotOut)
-		}
+		fmt.Println("dot written to", *dotOut)
 	}
 	fmt.Printf("%s @ %#x: %s\n", fr.Name, fr.Addr, fr.Status)
 	for _, r := range fr.Reasons {
 		fmt.Printf("  reason: %s\n", r)
 	}
-	printStats(fr.Stats)
+	printStats(fr.Stats())
 	printDetails(fr, *dump, *thy)
-	if *disasm {
-		lines, err := repro.Disasm(data, addr)
-		if err != nil {
-			fatal(err)
-		}
-		for _, l := range lines {
-			fmt.Println(l)
+	if *disasm && fr.Graph != nil {
+		for _, line := range disasmLines(fr.Graph) {
+			fmt.Println(line)
 		}
 	}
+	obsv.flush()
 }
 
 // liftBatch lifts every named binary from its entry point through the
-// pipeline scheduler and prints a one-line summary per binary plus corpus
-// totals.
-func liftBatch(paths []string, jobs int, timeout time.Duration) {
-	tasks := make([]pipeline.Task, 0, len(paths))
+// facade and prints a one-line summary per binary plus corpus totals.
+func liftBatch(ctx context.Context, paths []string, jobs int, timeout time.Duration, obsv *observer) {
+	reqs := make([]lift.Request, 0, len(paths))
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -137,9 +201,10 @@ func liftBatch(paths []string, jobs int, timeout time.Duration) {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
-		tasks = append(tasks, pipeline.Task{Name: path, Img: im, Binary: true})
+		reqs = append(reqs, lift.Binary(path, im))
 	}
-	sum := pipeline.Run(tasks, pipeline.Options{Jobs: jobs, Timeout: timeout})
+	opts := append([]lift.Option{lift.Jobs(jobs), lift.Timeout(timeout)}, obsv.opts...)
+	sum := lift.Run(ctx, reqs, opts...)
 	for _, r := range sum.Results {
 		fmt.Printf("%-32s %-12s instrs=%-6d states=%-6d A=%-3d B=%-3d C=%-3d %8s\n",
 			r.Name, r.Status, r.Stats.Graph.Instructions, r.Stats.Graph.States,
@@ -153,43 +218,67 @@ func liftBatch(paths []string, jobs int, timeout time.Duration) {
 	fmt.Printf("%d lifted, %d unprovable, %d concurrency, %d timeout, %d error, %d panic in %s; solver memo %.0f%% of %d queries\n",
 		sum.Lifted, sum.Unprovable, sum.Concurrency, sum.Timeouts, sum.Errors, sum.Panics,
 		sum.Wall.Round(time.Millisecond), 100*cs.HitRate(), cs.Queries)
+	obsv.flush()
 	if sum.Lifted != len(sum.Results) {
 		os.Exit(1)
 	}
 }
 
-func resolveFunc(data []byte, spec string) (uint64, error) {
+func resolveFunc(im *image.Image, spec string) (uint64, string, error) {
 	if addr, err := strconv.ParseUint(spec, 0, 64); err == nil {
-		return addr, nil
+		name := fmt.Sprintf("sub_%x", addr)
+		if n, ok := im.SymbolName(addr); ok {
+			name = n
+		}
+		return addr, name, nil
 	}
-	syms, err := repro.FuncSymbols(data)
-	if err != nil {
-		return 0, err
+	syms := im.FuncSymbols()
+	for _, s := range syms {
+		if s.Name == spec {
+			return s.Value, spec, nil
+		}
 	}
-	if addr, ok := syms[spec]; ok {
-		return addr, nil
-	}
-	return 0, fmt.Errorf("hglift: no function %q (have %d symbols)", spec, len(syms))
+	return 0, "", fmt.Errorf("hglift: no function %q (have %d symbols)", spec, len(syms))
 }
 
-func printStats(s repro.Stats) {
+func printStats(s hoare.Stats) {
 	fmt.Printf("  instructions=%d states=%d edges=%d resolved=%d unresolved-jumps=%d unresolved-calls=%d\n",
 		s.Instructions, s.States, s.Edges, s.ResolvedInd, s.UnresolvedJump, s.UnresolvedCall)
 }
 
-func printDetails(fr *repro.FuncReport, dump, thy bool) {
-	for _, o := range fr.Obligations {
+func printDetails(fr *core.FuncResult, dump, thy bool) {
+	if fr.Graph == nil {
+		return
+	}
+	for _, o := range fr.Graph.Obligations {
 		fmt.Printf("  obligation: %s\n", o)
 	}
-	for _, a := range fr.Assumptions {
+	for _, a := range fr.Graph.Assumptions {
 		fmt.Printf("  assumption: %s\n", a)
 	}
 	if dump {
-		fmt.Println(fr.Graph)
+		fmt.Println(fr.Graph.Dump())
 	}
 	if thy {
-		fmt.Println(fr.Theory)
+		fmt.Println(triple.ExportTheory(fr.Graph, fr.Name))
 	}
+}
+
+// disasmLines renders the recovered disassembly in address order — the
+// paper's base question 1 ("what instructions are executed") — straight
+// from the already-lifted graph.
+func disasmLines(g *hoare.Graph) []string {
+	addrs := make([]uint64, 0, len(g.Instrs))
+	for a := range g.Instrs {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	out := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		inst := g.Instrs[a]
+		out = append(out, fmt.Sprintf("%#x: %s", a, inst.String()))
+	}
+	return out
 }
 
 func fatal(err error) {

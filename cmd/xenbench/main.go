@@ -16,9 +16,14 @@
 // every count is identical at any job count; only wall time changes. All
 // workers share one solver memo cache, and the tables report its per-row
 // hit-rate ("Hit%") next to the per-directory wall time.
+//
+// -trace out.jsonl writes every lift/solver/memory-model event of the run
+// as JSONL; -metrics prints the aggregated metrics registry after the last
+// table.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,11 +34,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/hoare"
-	"repro/internal/pipeline"
+	"repro/internal/obs"
 	"repro/internal/sem"
 	"repro/internal/solver"
 	"repro/internal/triple"
 	"repro/internal/x86"
+	"repro/lift"
 )
 
 func main() {
@@ -46,6 +52,8 @@ func main() {
 	scale := flag.Float64("scale", 0.15, "Table 1 corpus scale (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "corpus generation seed")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel lift workers (1 = serial)")
+	traceOut := flag.String("trace", "", "write a JSONL event trace to this file")
+	showMetrics := flag.Bool("metrics", false, "print the aggregated metrics registry on exit")
 	flag.Parse()
 
 	if *all {
@@ -58,20 +66,50 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx := context.Background()
+	var sinks []obs.Sink
+	var jsonl *obs.JSONL
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		jsonl = obs.NewJSONL(f)
+		sinks = append(sinks, jsonl)
+	}
+	var metrics *obs.Metrics
+	if *showMetrics {
+		metrics = obs.NewMetrics()
+		sinks = append(sinks, metrics)
+	}
+	// tr is nil when no sink is selected: every emission site reduces to
+	// one pointer check.
+	tr := obs.NewTracer(sinks...)
 	if *table1 {
-		runTable1(*scale, *seed, *jobs)
+		runTable1(ctx, *scale, *seed, *jobs, tr)
 	}
 	if *table2 {
-		runTable2(*jobs)
+		runTable2(ctx, *jobs, tr)
 	}
 	if *fig3 {
-		runFig3(*scale, *seed, *jobs)
+		runFig3(ctx, *scale, *seed, *jobs, tr)
 	}
 	if *weird {
-		runWeird()
+		runWeird(ctx, tr)
 	}
 	if *failures {
-		runFailures()
+		runFailures(ctx, tr)
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "xenbench: trace:", err)
+		}
+		traceFile.Close()
+	}
+	if metrics != nil {
+		fmt.Print(metrics.Dump())
 	}
 }
 
@@ -99,33 +137,15 @@ func (r *dirResult) hitRate() string {
 	return fmt.Sprintf("%.0f%%", 100*float64(r.hits)/float64(r.queries))
 }
 
-// unitTasks maps a generated directory onto pipeline tasks, one per unit.
-func unitTasks(dir *corpus.Directory) []pipeline.Task {
-	tasks := make([]pipeline.Task, 0, len(dir.Units))
-	for _, u := range dir.Units {
-		cfg := core.DefaultConfig()
-		if u.Budget > 0 {
-			cfg.MaxStates = u.Budget
-		}
-		tasks = append(tasks, pipeline.Task{
-			Name:   u.Name,
-			Img:    u.Image,
-			Addr:   u.FuncAddr,
-			Binary: u.Kind == corpus.KindBinary,
-			Cfg:    &cfg,
-		})
-	}
-	return tasks
-}
-
 // liftDirectory generates one Table 1 directory and lifts every unit
 // through the pipeline.
-func liftDirectory(shape corpus.DirShape, seed int64, jobs int, cache *solver.Cache) (*dirResult, error) {
+func liftDirectory(ctx context.Context, shape corpus.DirShape, seed int64, jobs int, cache *solver.Cache, tr *obs.Tracer) (*dirResult, error) {
 	dir, err := corpus.BuildDirectory(shape, seed)
 	if err != nil {
 		return nil, err
 	}
-	sum := pipeline.Run(unitTasks(dir), pipeline.Options{Jobs: jobs, Cache: cache})
+	sum := lift.Run(ctx, lift.UnitRequests(dir.Units),
+		lift.Jobs(jobs), lift.Cache(cache), lift.Tracer(tr))
 	res := &dirResult{name: shape.Name, kind: shape.Kind, elapsed: sum.Wall}
 	for _, r := range sum.Results {
 		res.queries += r.Stats.Sem.SolverQueries
@@ -146,14 +166,14 @@ func liftDirectory(shape corpus.DirShape, seed int64, jobs int, cache *solver.Ca
 	return res, nil
 }
 
-func runTable1(scale float64, seed int64, jobs int) {
+func runTable1(ctx context.Context, scale float64, seed int64, jobs int, tr *obs.Tracer) {
 	fmt.Printf("Table 1: Xen-shaped case study (scale %.2f, %d jobs)\n", scale, jobs)
 	fmt.Printf("%-16s %-22s %9s %9s %6s %5s %5s %6s %10s\n",
 		"Directory", "w+x+y+z", "Instrs", "States", "A", "B", "C", "Hit%", "Time")
 	cache := solver.NewCache()
 	var totals [2]dirResult
 	for _, shape := range corpus.XenSuite(scale) {
-		res, err := liftDirectory(shape, seed, jobs, cache)
+		res, err := liftDirectory(ctx, shape, seed, jobs, cache, tr)
 		if err != nil {
 			fatal(err)
 		}
@@ -192,7 +212,7 @@ func printRow(r *dirResult) {
 		r.hitRate(), r.elapsed.Round(time.Millisecond))
 }
 
-func runTable2(jobs int) {
+func runTable2(ctx context.Context, jobs int, tr *obs.Tracer) {
 	fmt.Printf("Table 2: CoreUtils-shaped binaries exported and proven (Step 2, %d jobs)\n", jobs)
 	fmt.Printf("%-10s %13s %14s %10s %10s %8s\n",
 		"Binary", "#Instructions", "#Indirections", "Proven", "Assumed", "Failed")
@@ -200,11 +220,11 @@ func runTable2(jobs int) {
 	if err != nil {
 		fatal(err)
 	}
-	tasks := make([]pipeline.Task, 0, len(units))
+	reqs := make([]lift.Request, 0, len(units))
 	for _, u := range units {
-		tasks = append(tasks, pipeline.Task{Name: u.Name, Img: u.Image, Binary: true})
+		reqs = append(reqs, lift.Binary(u.Name, u.Image))
 	}
-	sum := pipeline.Run(tasks, pipeline.Options{Jobs: jobs})
+	sum := lift.Run(ctx, reqs, lift.Jobs(jobs), lift.Tracer(tr))
 	var sumI, sumInd, sumP, sumA, sumF int
 	for i, r := range sum.Results {
 		if r.Status != core.StatusLifted || r.Binary == nil {
@@ -213,7 +233,8 @@ func runTable2(jobs int) {
 		}
 		var proven, assumed, failed int
 		for _, fr := range r.Binary.Funcs {
-			rep := triple.CheckGraph(units[i].Image, fr.Graph, sem.DefaultConfig(), jobs)
+			rep := triple.Check(ctx, units[i].Image, fr.Graph, sem.DefaultConfig(),
+				triple.Workers(jobs), triple.WithTracer(tr))
 			proven += rep.Proven
 			assumed += rep.Assumed
 			failed += rep.Failed
@@ -233,7 +254,7 @@ func runTable2(jobs int) {
 	fmt.Println()
 }
 
-func runFig3(scale float64, seed int64, jobs int) {
+func runFig3(ctx context.Context, scale float64, seed int64, jobs int, tr *obs.Tracer) {
 	fmt.Println("Figure 3: verification time vs instruction count")
 	// A dedicated sweep across function sizes: 10 functions per size
 	// class, scaled by -scale.
@@ -248,7 +269,7 @@ func runFig3(scale float64, seed int64, jobs int) {
 			Name: "fig3", Kind: corpus.KindLibFunc, Lifted: perClass,
 			MinStmts: stmts, MaxStmts: stmts, Helpers: 1,
 		}
-		r, err := liftDirectory(shape, seed+int64(stmts), jobs, cache)
+		r, err := liftDirectory(ctx, shape, seed+int64(stmts), jobs, cache, tr)
 		if err != nil {
 			fatal(err)
 		}
@@ -278,14 +299,16 @@ func runFig3(scale float64, seed int64, jobs int) {
 	fmt.Println()
 }
 
-func runWeird() {
+func runWeird(ctx context.Context, tr *obs.Tracer) {
 	fmt.Println("Section 2: the weird-edge binary")
 	s, err := corpus.WeirdEdge()
 	if err != nil {
 		fatal(err)
 	}
-	l := core.New(s.Image, core.DefaultConfig())
-	r := l.LiftFunc(s.FuncAddr, s.Name)
+	cfg := core.DefaultConfig()
+	cfg.Sem.Tracer = tr.WithLift(s.Name)
+	l := core.New(s.Image, cfg)
+	r := l.LiftFuncCtx(ctx, s.FuncAddr, s.Name)
 	st := r.Stats()
 	fmt.Printf("status=%s instrs=%d states=%d resolved=%d weird-vertices=%d\n",
 		r.Status, st.Instructions, st.States, st.ResolvedInd, st.WeirdVertices)
@@ -299,12 +322,13 @@ func runWeird() {
 		}
 		fmt.Printf("  %s -> %s : %s%s\n", e.From, e.To, label, marker)
 	}
-	rep := triple.CheckGraph(s.Image, r.Graph, sem.DefaultConfig(), 2)
+	rep := triple.Check(ctx, s.Image, r.Graph, sem.DefaultConfig(),
+		triple.Workers(2), triple.WithTracer(tr))
 	fmt.Printf("Step 2: %d proven, %d assumed, %d failed\n", rep.Proven, rep.Assumed, rep.Failed)
 	fmt.Println()
 }
 
-func runFailures() {
+func runFailures(ctx context.Context, tr *obs.Tracer) {
 	fmt.Println("Section 5.3: failure case studies")
 	scenarios := []func() (*corpus.Scenario, error){
 		corpus.Ret2Win, corpus.StackProbe, corpus.NonStdRSP, corpus.Overflow,
@@ -314,8 +338,10 @@ func runFailures() {
 		if err != nil {
 			fatal(err)
 		}
-		l := core.New(s.Image, core.DefaultConfig())
-		r := l.LiftFunc(s.FuncAddr, s.Name)
+		cfg := core.DefaultConfig()
+		cfg.Sem.Tracer = tr.WithLift(s.Name)
+		l := core.New(s.Image, cfg)
+		r := l.LiftFuncCtx(ctx, s.FuncAddr, s.Name)
 		fmt.Printf("%-12s status=%s\n", s.Name, r.Status)
 		fmt.Printf("             %s\n", s.Describe)
 		for _, reason := range r.Reasons {

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -31,6 +32,7 @@ const (
 	StatusTimeout                     // exploration budget exhausted (z)
 	StatusError                       // decode/fetch failure
 	StatusPanic                       // the lift panicked (recovered by the pipeline)
+	StatusCancelled                   // the lift's context was cancelled mid-exploration
 )
 
 // String renders the status as in Table 1's legend.
@@ -46,6 +48,8 @@ func (s Status) String() string {
 		return "timeout"
 	case StatusPanic:
 		return "panic"
+	case StatusCancelled:
+		return "cancelled"
 	default:
 		return "error"
 	}
@@ -158,19 +162,31 @@ func RetSymFor(addr uint64) expr.Var {
 	return expr.Var(fmt.Sprintf("S_%x", addr))
 }
 
-// LiftFunc lifts the function at addr, reusing a cached summary if the
+// LiftFuncCtx lifts the function at addr, reusing a cached summary if the
 // function was already explored (context-free treatment: "it will always
 // start in the exact same state and therefore exploration happens only
-// once").
-func (l *Lifter) LiftFunc(addr uint64, name string) *FuncResult {
+// once"). Cancelling the context stops the exploration cooperatively at
+// its next step: a cancelled context yields StatusCancelled, an expired
+// deadline StatusTimeout — the same mechanism the pipeline's per-lift
+// budget uses.
+func (l *Lifter) LiftFuncCtx(ctx context.Context, addr uint64, name string) *FuncResult {
 	if r, ok := l.summaries[addr]; ok {
 		return r
 	}
 	l.inProgress[addr] = true
-	r := l.explore(addr, name)
+	r := l.explore(ctx, addr, name)
 	delete(l.inProgress, addr)
 	l.summaries[addr] = r
 	return r
+}
+
+// LiftFunc lifts the function at addr without cancellation.
+//
+// Deprecated: use LiftFuncCtx, which threads a context.Context through
+// the exploration. LiftFunc remains for existing callers and is exactly
+// LiftFuncCtx with context.Background().
+func (l *Lifter) LiftFunc(addr uint64, name string) *FuncResult {
+	return l.LiftFuncCtx(context.Background(), addr, name)
 }
 
 // BinaryResult aggregates lifting a whole binary from its entry point,
@@ -184,12 +200,12 @@ type BinaryResult struct {
 	Duration time.Duration
 }
 
-// LiftBinary lifts the binary from its entry point, exploring all
+// LiftBinaryCtx lifts the binary from its entry point, exploring all
 // reachable instructions including internal function calls (Table 1,
-// upper part).
-func (l *Lifter) LiftBinary(name string) *BinaryResult {
+// upper part). Cancellation propagates into every callee exploration.
+func (l *Lifter) LiftBinaryCtx(ctx context.Context, name string) *BinaryResult {
 	start := time.Now()
-	entry := l.LiftFunc(l.Img.Entry(), name)
+	entry := l.LiftFuncCtx(ctx, l.Img.Entry(), name)
 	res := &BinaryResult{Name: name, Status: entry.Status, Entry: entry, Duration: time.Since(start)}
 	for _, fr := range l.Summaries() {
 		res.Funcs = append(res.Funcs, fr)
@@ -199,6 +215,14 @@ func (l *Lifter) LiftBinary(name string) *BinaryResult {
 		}
 	}
 	return res
+}
+
+// LiftBinary lifts the binary from its entry point without cancellation.
+//
+// Deprecated: use LiftBinaryCtx, which threads a context.Context through
+// the exploration.
+func (l *Lifter) LiftBinary(name string) *BinaryResult {
+	return l.LiftBinaryCtx(context.Background(), name)
 }
 
 // Counters returns the machine's solver and memory-model activity counters

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/hoare"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/pred"
 	"repro/internal/sem"
 	"repro/internal/x86"
@@ -22,6 +25,8 @@ type workItem struct {
 // explorer holds the per-function exploration state.
 type explorer struct {
 	l      *Lifter
+	ctx    context.Context
+	tr     *obs.Tracer
 	g      *hoare.Graph
 	res    *FuncResult
 	bag    []workItem
@@ -32,16 +37,18 @@ type explorer struct {
 }
 
 // explore runs Algorithm 1 from a function entry.
-func (l *Lifter) explore(addr uint64, name string) *FuncResult {
+func (l *Lifter) explore(ctx context.Context, addr uint64, name string) *FuncResult {
 	retSym := RetSymFor(addr)
 	g := hoare.NewGraph(addr, name, retSym)
 	res := &FuncResult{Name: name, Addr: addr, Status: StatusLifted, Graph: g}
 	e := &explorer{
-		l: l, g: g, res: res,
+		l: l, ctx: ctx, tr: l.Cfg.Sem.Tracer,
+		g: g, res: res,
 		seen:   map[string]bool{},
 		t0:     time.Now(),
 		before: map[string]bool{},
 	}
+	e.tr.LiftStart(name, addr)
 	for _, a := range l.mach.Assumptions() {
 		e.before[a] = true
 	}
@@ -53,6 +60,14 @@ func (l *Lifter) explore(addr uint64, name string) *FuncResult {
 	e.bag = []workItem{{rip: addr, st: init}}
 
 	for len(e.bag) > 0 && !e.fatal {
+		if err := e.ctxErr(); err != nil {
+			st := StatusCancelled
+			if errors.Is(err, context.DeadlineExceeded) {
+				st = StatusTimeout
+			}
+			e.fail(st, fmt.Sprintf("after %d steps: %v", res.Steps, err))
+			break
+		}
 		if res.Steps >= l.Cfg.MaxStates ||
 			(l.Cfg.Timeout > 0 && time.Since(e.t0) > l.Cfg.Timeout) {
 			e.fail(StatusTimeout, fmt.Sprintf("exploration budget exhausted after %d steps", res.Steps))
@@ -72,7 +87,23 @@ func (l *Lifter) explore(addr uint64, name string) *FuncResult {
 	}
 	sort.Strings(g.Assumptions)
 	res.Duration = time.Since(e.t0)
+	e.tr.LiftFinish(name, addr, res.Status.String(), res.Steps, res.Duration)
 	return res
+}
+
+// ctxErr reports the exploration context's cancellation cause, nil while
+// it is live (or when no context was threaded — the deprecated
+// entrypoints pass context.Background()).
+func (e *explorer) ctxErr() error {
+	if e.ctx == nil {
+		return nil
+	}
+	select {
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // fail records a verification failure; the function is rejected and no
@@ -124,6 +155,7 @@ func (e *explorer) exploreOne(item workItem) {
 		}
 		v.State = joined
 		v.Joins++
+		e.tr.Join(item.rip, string(vid))
 		cur = joined
 	case exists: // NoJoin ablation
 		k := string(vid) + "|" + item.st.Key()
@@ -138,6 +170,7 @@ func (e *explorer) exploreOne(item workItem) {
 		cur = item.st
 	}
 	e.res.Steps++
+	e.tr.Step(item.rip)
 
 	inst, err := e.l.Img.Fetch(item.rip)
 	if err != nil {
@@ -231,8 +264,11 @@ func (e *explorer) handleCall(v *hoare.Vertex, inst x86.Inst, o sem.Outcome) {
 		case l.isTerminating(name):
 			e.g.AddEdge(hoare.Edge{From: v.ID, To: hoare.HaltID, Inst: inst, Kind: o.Kind, Callee: name})
 		default:
-			e.g.Obligations = append(e.g.Obligations,
-				l.mach.CallObligations(o.State, name, inst.Addr)...)
+			obls := l.mach.CallObligations(o.State, name, inst.Addr)
+			for _, obl := range obls {
+				e.tr.Obligation(inst.Addr, obl)
+			}
+			e.g.Obligations = append(e.g.Obligations, obls...)
 			e.continueAfterCall(v, inst, o, name)
 		}
 		return
@@ -259,7 +295,7 @@ func (e *explorer) handleCall(v *hoare.Vertex, inst x86.Inst, o sem.Outcome) {
 		e.continueAfterCall(v, inst, o, name)
 		return
 	}
-	sum := l.LiftFunc(tgt, name)
+	sum := l.LiftFuncCtx(e.ctx, tgt, name)
 	if sum.Status != StatusLifted {
 		st := sum.Status
 		if st == StatusError {

@@ -2,6 +2,7 @@ package elf64
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -147,6 +148,45 @@ func TestParseErrors(t *testing.T) {
 	}
 	if pe == nil || pe.Error() == "" {
 		t.Fatal("error type")
+	}
+}
+
+func TestParseErrorSentinels(t *testing.T) {
+	// Format-class failures wrap ErrBadMagic.
+	for name, img := range map[string][]byte{
+		"bad magic": make([]byte, 100),
+		"elfclass32": append([]byte{0x7f, 'E', 'L', 'F', 1, 1, 1},
+			make([]byte, 93)...),
+		"big endian": append([]byte{0x7f, 'E', 'L', 'F', ELFCLASS64, 2, 1},
+			make([]byte, 93)...),
+	} {
+		_, err := Parse(img)
+		if !errors.Is(err, ErrBadMagic) {
+			t.Errorf("%s: want errors.Is(err, ErrBadMagic), got %v", name, err)
+		}
+		if errors.Is(err, ErrTruncated) {
+			t.Errorf("%s: must not match ErrTruncated", name)
+		}
+	}
+	// Truncation-class failures wrap ErrTruncated.
+	_, err := Parse(nil)
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty image: want ErrTruncated, got %v", err)
+	}
+	short := make([]byte, 100)
+	copy(short, []byte{0x7f, 'E', 'L', 'F', ELFCLASS64, ELFDATA2LSB, 1})
+	le.PutUint16(short[18:], EMX8664)
+	le.PutUint64(short[32:], 1<<40) // PhOff far past the image
+	le.PutUint16(short[54:], 56)
+	le.PutUint16(short[56:], 1)
+	_, err = Parse(short)
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("out-of-range program header: want ErrTruncated, got %v", err)
+	}
+	// Both sentinels still surface the concrete type for errors.As.
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Err == nil {
+		t.Errorf("want *ParseError wrapping a sentinel, got %v", err)
 	}
 }
 

@@ -2,16 +2,34 @@ package elf64
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
-// ParseError reports a malformed ELF image.
-type ParseError struct{ Reason string }
+// Sentinel parse failures, for errors.Is dispatch: a truncated image may
+// be worth re-fetching, a wrong-format one never is.
+var (
+	// ErrBadMagic marks an image that is not ELF64/LSB/x86-64 at all.
+	ErrBadMagic = errors.New("bad magic")
+	// ErrTruncated marks an image whose headers point past its end.
+	ErrTruncated = errors.New("truncated image")
+)
+
+// ParseError reports a malformed ELF image. It wraps one of the sentinel
+// failures above, so both errors.Is(err, ErrTruncated) and
+// errors.As(err, *ParseError) work on a Parse error.
+type ParseError struct {
+	Reason string
+	Err    error // the sentinel category, if any
+}
 
 func (e *ParseError) Error() string { return "elf64: " + e.Reason }
 
-func parseErr(format string, args ...any) error {
-	return &ParseError{Reason: fmt.Sprintf(format, args...)}
+// Unwrap exposes the sentinel category to errors.Is.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+func parseErr(sentinel error, format string, args ...any) error {
+	return &ParseError{Reason: fmt.Sprintf(format, args...), Err: sentinel}
 }
 
 var le = binary.LittleEndian
@@ -19,23 +37,23 @@ var le = binary.LittleEndian
 // Parse reads an ELF64 little-endian x86-64 image from memory.
 func Parse(b []byte) (*File, error) {
 	if len(b) < 64 {
-		return nil, parseErr("image too small (%d bytes)", len(b))
+		return nil, parseErr(ErrTruncated, "image too small (%d bytes)", len(b))
 	}
 	if b[0] != 0x7f || b[1] != 'E' || b[2] != 'L' || b[3] != 'F' {
-		return nil, parseErr("bad magic % x", b[:4])
+		return nil, parseErr(ErrBadMagic, "bad magic % x", b[:4])
 	}
 	if b[4] != ELFCLASS64 {
-		return nil, parseErr("not ELFCLASS64")
+		return nil, parseErr(ErrBadMagic, "not ELFCLASS64")
 	}
 	if b[5] != ELFDATA2LSB {
-		return nil, parseErr("not little-endian")
+		return nil, parseErr(ErrBadMagic, "not little-endian")
 	}
 	f := &File{}
 	h := &f.Header
 	h.Type = le.Uint16(b[16:])
 	h.Machine = le.Uint16(b[18:])
 	if h.Machine != EMX8664 {
-		return nil, parseErr("not x86-64 (machine %#x)", h.Machine)
+		return nil, parseErr(ErrBadMagic, "not x86-64 (machine %#x)", h.Machine)
 	}
 	h.Entry = le.Uint64(b[24:])
 	h.PhOff = le.Uint64(b[32:])
@@ -52,7 +70,7 @@ func Parse(b []byte) (*File, error) {
 	for i := 0; i < int(h.PhNum); i++ {
 		off := h.PhOff + uint64(i)*uint64(h.PhEntSize)
 		if off+56 > uint64(len(b)) {
-			return nil, parseErr("program header %d out of range", i)
+			return nil, parseErr(ErrTruncated, "program header %d out of range", i)
 		}
 		p := b[off:]
 		f.Progs = append(f.Progs, Prog{
@@ -76,7 +94,7 @@ func Parse(b []byte) (*File, error) {
 	for i := 0; i < int(h.ShNum); i++ {
 		off := h.ShOff + uint64(i)*uint64(h.ShEntSize)
 		if off+64 > uint64(len(b)) {
-			return nil, parseErr("section header %d out of range", i)
+			return nil, parseErr(ErrTruncated, "section header %d out of range", i)
 		}
 		s := b[off:]
 		sec := Section{
@@ -92,7 +110,7 @@ func Parse(b []byte) (*File, error) {
 		}
 		if sec.Type != SHTNobits && sec.Type != SHTNull && sec.Size > 0 {
 			if sec.Off+sec.Size > uint64(len(b)) {
-				return nil, parseErr("section %d data out of range", i)
+				return nil, parseErr(ErrTruncated, "section %d data out of range", i)
 			}
 			sec.Data = append([]byte(nil), b[sec.Off:sec.Off+sec.Size]...)
 		}

@@ -10,6 +10,7 @@
 package image
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -17,6 +18,10 @@ import (
 	"repro/internal/elf64"
 	"repro/internal/x86"
 )
+
+// ErrNotExecutable marks a Fetch at an address outside every executable
+// section; callers dispatch with errors.Is instead of string-matching.
+var ErrNotExecutable = errors.New("address not executable")
 
 // Image is a loaded binary. The file and plt fields are read-only after
 // FromFile returns; instCach is the only mutable state and is guarded by
@@ -32,11 +37,13 @@ type Image struct {
 	instCach map[uint64]x86.Inst
 }
 
-// Load parses raw ELF bytes.
+// Load parses raw ELF bytes. Parse failures are returned wrapped, so the
+// elf64 sentinels (elf64.ErrBadMagic, elf64.ErrTruncated) stay visible to
+// errors.Is through this layer.
 func Load(data []byte) (*Image, error) {
 	f, err := elf64.Parse(data)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("image: load: %w", err)
 	}
 	return FromFile(f), nil
 }
@@ -89,7 +96,7 @@ func (im *Image) Fetch(addr uint64) (x86.Inst, error) {
 	}
 	s := im.file.SectionAt(addr)
 	if s == nil || s.Flags&elf64.SHFExecinstr == 0 || s.Data == nil {
-		return x86.Inst{}, fmt.Errorf("image: %#x is not executable", addr)
+		return x86.Inst{}, fmt.Errorf("image: %#x: %w", addr, ErrNotExecutable)
 	}
 	inst, err := x86.Decode(s.Data[addr-s.Addr:], addr)
 	if err != nil {

@@ -1,6 +1,7 @@
 package image
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/elf64"
@@ -109,5 +110,25 @@ func TestPLTAndSymbols(t *testing.T) {
 func TestLoadErrors(t *testing.T) {
 	if _, err := Load([]byte("junk")); err == nil {
 		t.Fatal("junk must fail")
+	}
+	// The elf64 sentinels survive the image wrapping.
+	if _, err := Load(make([]byte, 100)); !errors.Is(err, elf64.ErrBadMagic) {
+		t.Errorf("bad magic through Load: want elf64.ErrBadMagic, got %v", err)
+	}
+	if _, err := Load(nil); !errors.Is(err, elf64.ErrTruncated) {
+		t.Errorf("empty image through Load: want elf64.ErrTruncated, got %v", err)
+	}
+}
+
+func TestFetchNotExecutable(t *testing.T) {
+	im := sampleImage(t)
+	for _, addr := range []uint64{0x4a0000 /* .rodata */, 0x4b0000 /* .data */, 0xdead0000 /* unmapped */} {
+		_, err := im.Fetch(addr)
+		if !errors.Is(err, ErrNotExecutable) {
+			t.Errorf("Fetch(%#x): want ErrNotExecutable, got %v", addr, err)
+		}
+	}
+	if _, err := im.Fetch(0x401000); err != nil {
+		t.Errorf("Fetch in .text: %v", err)
 	}
 }

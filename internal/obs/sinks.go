@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// jsonEvent is the JSONL wire form of an Event: short keys, empties
+// omitted, and a wall-clock timestamp stamped at emission (the Event
+// itself carries none so that trace-free emission stays allocation-free
+// and deterministic).
+type jsonEvent struct {
+	T      time.Time     `json:"t"`
+	Kind   Kind          `json:"k"`
+	Lift   string        `json:"lift,omitempty"`
+	Func   string        `json:"func,omitempty"`
+	Addr   uint64        `json:"addr,omitempty"`
+	Vertex string        `json:"vertex,omitempty"`
+	Status string        `json:"status,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+	N      uint64        `json:"n,omitempty"`
+	Hit    bool          `json:"hit,omitempty"`
+	Wall   time.Duration `json:"wall_ns,omitempty"`
+}
+
+// JSONL writes one JSON object per event to an io.Writer — the `-trace
+// out.jsonl` format of hglift and xenbench. Lines from concurrent lift
+// workers interleave, so consumers must group by the "lift" label rather
+// than assume contiguity; within one lift the order is the emission order.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a sink encoding onto w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Emit encodes the event as one line. The first encoding error is kept
+// and stops further output (a closed file mid-run must not wedge a lift).
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(jsonEvent{
+		T: time.Now(), Kind: e.Kind, Lift: e.Lift, Func: e.Func,
+		Addr: e.Addr, Vertex: e.Vertex, Status: e.Status, Detail: e.Detail,
+		N: e.N, Hit: e.Hit, Wall: e.Wall,
+	})
+}
+
+// Err returns the first encoding error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Ring is a bounded in-memory sink holding the most recent events — the
+// test harness's golden-trace buffer, and cheap enough to leave attached
+// as a flight recorder.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// NewRing returns a ring holding up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit records the event, evicting the oldest once full.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the recorded events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped reports how many events were evicted after the ring filled.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

@@ -25,6 +25,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hoare"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/sem"
 	"repro/internal/solver"
 )
@@ -55,14 +57,20 @@ type Options struct {
 	// Jobs is the worker count; ≤ 0 selects runtime.NumCPU().
 	Jobs int
 	// Timeout is the per-lift wall-clock budget (0 = none). It is enforced
-	// twice: cooperatively, via core.Config.Timeout checked at every
-	// exploration step, and by a watchdog that abandons a lift which stops
-	// making steps at all; either way the lift reports StatusTimeout.
+	// twice: cooperatively, as a context deadline the explorer checks at
+	// every exploration step, and by a watchdog that abandons a lift which
+	// stops making steps at all; either way the lift reports
+	// StatusTimeout.
 	Timeout time.Duration
 	// Cache is the shared solver memo cache (nil = one fresh cache per
 	// Run). Pass an explicit cache to share verdicts across several Runs,
 	// e.g. across the directories of a Table 1 sweep.
 	Cache *solver.Cache
+	// Tracer, when non-nil, observes the run: per-task spans, watchdog
+	// abandons, and — relabelled per task — every exploration, solver and
+	// memory-model event the lift emits. nil disables observation for the
+	// cost of a pointer check per event site.
+	Tracer *obs.Tracer
 }
 
 // Stats is the per-lift statistics record, also used for corpus totals.
@@ -115,8 +123,9 @@ type Summary struct {
 	Results []Result
 	// Per-status counts in the shape of Table 1's w + x + y + z
 	// decomposition (Errors and Panics are reported separately but belong
-	// to the x column when printed in table form).
-	Lifted, Unprovable, Concurrency, Timeouts, Errors, Panics int
+	// to the x column when printed in table form). Cancelled counts tasks
+	// stopped by the Run's context, in flight or before starting.
+	Lifted, Unprovable, Concurrency, Timeouts, Errors, Panics, Cancelled int
 	// Stats sums every lift's record (all statuses).
 	Stats Stats
 	// Wall is the wall-clock time of the whole Run.
@@ -132,15 +141,22 @@ type Summary struct {
 // after its Run returned.
 var testHookLiftStart atomic.Pointer[func(name string)]
 
-// Run lifts every task and aggregates the outcomes.
-func Run(tasks []Task, opts Options) *Summary {
+// RunCtx lifts every task and aggregates the outcomes. Cancelling the
+// context stops the run cooperatively: in-flight lifts observe the
+// cancellation at their next exploration step and report StatusCancelled,
+// and tasks not yet started are marked cancelled without running. The
+// per-lift timeout (Options.Timeout) is a deadline derived from the same
+// context, so budget expiry and caller cancellation flow through one
+// mechanism; the watchdog remains as the last resort for lifts that stop
+// making steps entirely.
+func RunCtx(ctx context.Context, tasks []Task, opts Options) *Summary {
 	if opts.Cache == nil {
 		opts.Cache = solver.NewCache()
 	}
 	sum := &Summary{Results: make([]Result, len(tasks)), Cache: opts.Cache}
 	start := time.Now()
 	ForEach(opts.Jobs, len(tasks), func(i int) {
-		sum.Results[i] = runOne(tasks[i], i, opts)
+		sum.Results[i] = runOne(ctx, tasks[i], i, opts)
 	})
 	sum.Wall = time.Since(start)
 	for i := range sum.Results {
@@ -157,6 +173,8 @@ func Run(tasks []Task, opts Options) *Summary {
 			sum.Timeouts++
 		case core.StatusPanic:
 			sum.Panics++
+		case core.StatusCancelled:
+			sum.Cancelled++
 		default:
 			sum.Errors++
 		}
@@ -164,12 +182,38 @@ func Run(tasks []Task, opts Options) *Summary {
 	return sum
 }
 
+// Run lifts every task without external cancellation.
+//
+// Deprecated: use RunCtx, which accepts a context.Context. Run remains
+// for existing callers and is exactly RunCtx with context.Background().
+func Run(tasks []Task, opts Options) *Summary {
+	return RunCtx(context.Background(), tasks, opts)
+}
+
 // runOne executes a single lift under the watchdog and panic guard. The
 // lift itself runs on a child goroutine; if it exceeds the watchdog budget
-// the worker abandons it (the cooperative core timeout will terminate the
+// the worker abandons it (the cooperative deadline will terminate the
 // orphan at its next exploration step) and reports a timeout, so one
-// wedged lift can never stall the whole corpus.
-func runOne(t Task, idx int, opts Options) Result {
+// wedged lift can never stall the whole corpus. Cancelling ctx likewise
+// abandons a lift that does not return promptly on its own.
+func runOne(ctx context.Context, t Task, idx int, opts Options) Result {
+	tr := opts.Tracer.WithLift(t.Name)
+	start := time.Now()
+	finish := func(r Result) Result {
+		tr.TaskFinish(t.Name, r.Status.String(), time.Since(start))
+		return r
+	}
+	if ctx.Err() != nil {
+		// The run was cancelled before this task started.
+		return finish(Result{Name: t.Name, Index: idx, Status: core.StatusCancelled})
+	}
+	tr.TaskStart(t.Name)
+	lctx := ctx
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		lctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	done := make(chan Result, 1)
 	go func() {
 		defer func() {
@@ -185,44 +229,49 @@ func runOne(t Task, idx int, opts Options) Result {
 		if hook := testHookLiftStart.Load(); hook != nil {
 			(*hook)(t.Name)
 		}
-		done <- lift(t, idx, opts)
+		done <- lift(lctx, t, idx, opts, tr)
 	}()
-	if opts.Timeout <= 0 {
-		return <-done
+	var watchdog <-chan time.Time
+	if opts.Timeout > 0 {
+		// The watchdog allows double the cooperative budget plus
+		// scheduling slack before abandoning: a lift that is merely slow
+		// still reports its own (cooperative, deterministic) timeout
+		// result.
+		timer := time.NewTimer(2*opts.Timeout + 250*time.Millisecond)
+		defer timer.Stop()
+		watchdog = timer.C
 	}
-	// The watchdog allows double the cooperative budget plus scheduling
-	// slack before abandoning: a lift that is merely slow still reports
-	// its own (cooperative, deterministic) timeout result.
-	watchdog := time.NewTimer(2*opts.Timeout + 250*time.Millisecond)
-	defer watchdog.Stop()
 	select {
 	case r := <-done:
-		return r
-	case <-watchdog.C:
-		return Result{Name: t.Name, Index: idx, Status: core.StatusTimeout}
+		return finish(r)
+	case <-watchdog:
+		tr.Watchdog(t.Name, opts.Timeout)
+		return finish(Result{Name: t.Name, Index: idx, Status: core.StatusTimeout})
+	case <-ctx.Done():
+		// The caller cancelled the whole run: abandon the lift rather
+		// than wait for its next cooperative check.
+		return finish(Result{Name: t.Name, Index: idx, Status: core.StatusCancelled})
 	}
 }
 
 // lift runs the task's lifter and collects its statistics.
-func lift(t Task, idx int, opts Options) Result {
+func lift(ctx context.Context, t Task, idx int, opts Options, tr *obs.Tracer) Result {
 	cfg := core.DefaultConfig()
 	if t.Cfg != nil {
 		cfg = *t.Cfg
 	}
 	cfg.Sem.SolverCache = opts.Cache
-	if opts.Timeout > 0 && (cfg.Timeout == 0 || opts.Timeout < cfg.Timeout) {
-		cfg.Timeout = opts.Timeout
-	}
+	cfg.Sem.Tracer = tr
 	l := core.New(t.Img, cfg)
 	res := Result{Name: t.Name, Index: idx}
 	start := time.Now()
 	if t.Binary {
-		br := l.LiftBinary(t.Name)
+		br := l.LiftBinaryCtx(ctx, t.Name)
 		res.Binary = br
 		res.Status = br.Status
 		res.Stats.Graph = br.Stats
 	} else {
-		fr := l.LiftFunc(t.Addr, t.Name)
+		fr := l.LiftFuncCtx(ctx, t.Addr, t.Name)
 		res.Func = fr
 		res.Status = fr.Status
 		res.Stats.Graph = fr.Stats()

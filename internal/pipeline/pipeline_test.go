@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -213,4 +214,58 @@ func TestRunSharedCache(t *testing.T) {
 	if cs.HitRate() <= 0 || cs.HitRate() > 1 {
 		t.Fatalf("hit rate %v out of range", cs.HitRate())
 	}
+}
+
+// TestRunCtxCancelBeforeStart cancels the context before RunCtx: every
+// task must report StatusCancelled without a single lift running.
+func TestRunCtxCancelBeforeStart(t *testing.T) {
+	tasks := smallDir(t)
+	var started atomic.Int32
+	hook := func(string) { started.Add(1) }
+	testHookLiftStart.Store(&hook)
+	defer testHookLiftStart.Store(nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sum := RunCtx(ctx, tasks, Options{Jobs: 2})
+	if sum.Cancelled != len(tasks) {
+		t.Fatalf("Cancelled = %d, want %d", sum.Cancelled, len(tasks))
+	}
+	for i, r := range sum.Results {
+		if r.Status != core.StatusCancelled {
+			t.Fatalf("task %d: status %s, want %s", i, r.Status, core.StatusCancelled)
+		}
+	}
+	if n := started.Load(); n != 0 {
+		t.Fatalf("%d lifts started after cancellation", n)
+	}
+}
+
+// TestRunCtxCancelInFlight cancels the context from inside the first lift:
+// the in-flight lift must observe the cancellation cooperatively (or be
+// abandoned by the scheduler's select) and report StatusCancelled, and no
+// later task may report success.
+func TestRunCtxCancelInFlight(t *testing.T) {
+	tasks := smallDir(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hook := func(string) { cancel() }
+	testHookLiftStart.Store(&hook)
+	defer testHookLiftStart.Store(nil)
+
+	sum := RunCtx(ctx, tasks, Options{Jobs: 1})
+	if sum.Cancelled != len(tasks) {
+		t.Fatalf("Cancelled = %d of %d; statuses: %v", sum.Cancelled, len(tasks), statuses(sum))
+	}
+	if sum.Lifted != 0 {
+		t.Fatalf("%d tasks lifted after cancellation", sum.Lifted)
+	}
+}
+
+func statuses(sum *Summary) []core.Status {
+	out := make([]core.Status, len(sum.Results))
+	for i, r := range sum.Results {
+		out[i] = r.Status
+	}
+	return out
 }

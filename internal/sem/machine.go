@@ -7,6 +7,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/image"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/pred"
 	"repro/internal/solver"
 	"repro/internal/x86"
@@ -31,6 +32,10 @@ type Config struct {
 	// top of the raw verdict are applied after the cache, so the recorded
 	// assumption side effects are never skipped.
 	SolverCache *solver.Cache
+	// Tracer, when non-nil, receives a structured event per solver query
+	// and per memory-model fork/destroy. Emission is nil-safe, so the
+	// disabled (nil) tracer costs one pointer check per event site.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the configuration matching the paper's algorithm.
@@ -88,25 +93,32 @@ func (m *Machine) Counters() Counters { return m.counters }
 // configured, counting queries and hits.
 func (m *Machine) compare(p *pred.Pred, r0, r1 solver.Region) solver.Result {
 	m.counters.SolverQueries++
+	var res solver.Result
+	var hit bool
 	if c := m.Cfg.SolverCache; c != nil {
-		res, hit := c.Compare(p, r0, r1)
+		res, hit = c.Compare(p, r0, r1)
 		if hit {
 			m.counters.SolverHits++
 		}
-		return res
+	} else {
+		res = solver.Compare(p, r0, r1)
 	}
-	return solver.Compare(p, r0, r1)
+	m.Cfg.Tracer.Solver(m.curAddr, hit)
+	return res
 }
 
 // noteIns records the fork/destroy fan-out of one memory-model insertion.
 func (m *Machine) noteIns(results []memmodel.InsResult) {
 	if len(results) > 1 {
-		m.counters.Forks += uint64(len(results) - 1)
+		extra := uint64(len(results) - 1)
+		m.counters.Forks += extra
+		m.Cfg.Tracer.Fork(m.curAddr, extra)
 	}
 	for _, res := range results {
 		for _, rel := range res.Rel {
 			if rel == memmodel.RelDestroyed {
 				m.counters.Destroys++
+				m.Cfg.Tracer.Destroy(m.curAddr)
 				break
 			}
 		}

@@ -11,6 +11,7 @@
 package triple
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/hoare"
 	"repro/internal/image"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/pred"
 	"repro/internal/sem"
@@ -67,17 +69,51 @@ type Report struct {
 // assumed.
 func (r *Report) AllProven() bool { return r.Failed == 0 }
 
-// CheckGraph re-verifies every vertex of the graph, independently and in
-// parallel across the given number of workers (the theorems are mutually
-// independent, so the pipeline's worker pool fans them out directly).
-func CheckGraph(img *image.Image, g *hoare.Graph, cfg sem.Config, workers int) *Report {
+// CheckOption tunes a Check run. The zero configuration checks serially
+// with no observation, matching the deprecated CheckGraph's workers == 1.
+type CheckOption func(*checkCfg)
+
+type checkCfg struct {
+	workers int
+	tracer  *obs.Tracer
+}
+
+// Workers fans the per-vertex theorems across n pool workers (< 1 = 1).
+func Workers(n int) CheckOption {
+	return func(c *checkCfg) { c.workers = n }
+}
+
+// WithTracer emits one obs.KTheorem event per checked vertex.
+func WithTracer(t *obs.Tracer) CheckOption {
+	return func(c *checkCfg) { c.tracer = t }
+}
+
+// Check re-verifies every vertex of the graph, independently and in
+// parallel across the configured number of workers (the theorems are
+// mutually independent, so the pipeline's worker pool fans them out
+// directly). Cancelling the context stops issuing work; vertices not
+// checked in time report Failed with a cancellation reason, so a
+// cancelled report never claims AllProven.
+func Check(ctx context.Context, img *image.Image, g *hoare.Graph, cfg sem.Config, opts ...CheckOption) *Report {
+	cc := checkCfg{workers: 1}
+	for _, o := range opts {
+		o(&cc)
+	}
+	if cc.workers < 1 {
+		cc.workers = 1
+	}
 	vertices := g.SortedVertices()
 	rep := &Report{Func: g.FuncName, Theorems: make([]Theorem, len(vertices))}
-	if workers < 1 {
-		workers = 1
-	}
-	pipeline.ForEach(workers, len(vertices), func(i int) {
-		rep.Theorems[i] = checkVertex(img, g, cfg, vertices[i])
+	pipeline.ForEach(cc.workers, len(vertices), func(i int) {
+		v := vertices[i]
+		if err := ctx.Err(); err != nil {
+			rep.Theorems[i] = Theorem{Vertex: v.ID, Addr: v.Addr, Verdict: Failed,
+				Reason: fmt.Sprintf("not checked: %v", err)}
+		} else {
+			rep.Theorems[i] = checkVertex(img, g, cfg, v)
+		}
+		th := &rep.Theorems[i]
+		cc.tracer.Theorem(g.FuncName, string(th.Vertex), th.Addr, th.Verdict.String())
 	})
 	for _, th := range rep.Theorems {
 		switch th.Verdict {
@@ -90,6 +126,15 @@ func CheckGraph(img *image.Image, g *hoare.Graph, cfg sem.Config, workers int) *
 		}
 	}
 	return rep
+}
+
+// CheckGraph re-verifies every vertex across the given worker count.
+//
+// Deprecated: use Check, which threads a context.Context and takes the
+// worker count as an option. CheckGraph remains for existing callers and
+// is exactly Check with context.Background() and Workers(workers).
+func CheckGraph(img *image.Image, g *hoare.Graph, cfg sem.Config, workers int) *Report {
+	return Check(context.Background(), img, g, cfg, Workers(workers))
 }
 
 // annotatedAt reports whether the instruction at addr carries an

@@ -22,6 +22,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -40,6 +41,7 @@ const (
 	UnprovableRet Status = "unprovable-return-address"
 	Concurrency   Status = "concurrency"
 	Timeout       Status = "timeout"
+	Cancelled     Status = "cancelled"
 	Error         Status = "error"
 )
 
@@ -53,6 +55,8 @@ func statusOf(s core.Status) Status {
 		return Concurrency
 	case core.StatusTimeout:
 		return Timeout
+	case core.StatusCancelled:
+		return Cancelled
 	default:
 		return Error
 	}
@@ -249,7 +253,7 @@ func VerifyFunction(elf []byte, addr uint64, opts ...Options) (*FuncReport, *Ver
 	if fr.Status != core.StatusLifted {
 		return rep, nil, fmt.Errorf("repro: function %s not lifted: %s", name, fr.Status)
 	}
-	check := triple.CheckGraph(im, fr.Graph, sem.DefaultConfig(), 4)
+	check := triple.Check(context.Background(), im, fr.Graph, sem.DefaultConfig(), triple.Workers(4))
 	vr := &VerifyReport{Proven: check.Proven, Assumed: check.Assumed, Failed: check.Failed}
 	for _, th := range check.Sorted() {
 		if th.Verdict == triple.Failed {
@@ -280,7 +284,7 @@ func VerifyBinary(elf []byte, opts ...Options) (*VerifyReport, error) {
 		if fr.Graph == nil {
 			continue
 		}
-		check := triple.CheckGraph(im, fr.Graph, sem.DefaultConfig(), 4)
+		check := triple.Check(context.Background(), im, fr.Graph, sem.DefaultConfig(), triple.Workers(4))
 		out.Proven += check.Proven
 		out.Assumed += check.Assumed
 		out.Failed += check.Failed

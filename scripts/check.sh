@@ -1,0 +1,24 @@
+#!/bin/sh
+# check.sh — fast hygiene gate: formatting and vet, then (optionally) the
+# full tier-1 test matrix. Run from the repo root:
+#
+#   ./scripts/check.sh          # gofmt + go vet + go build
+#   ./scripts/check.sh -full    # also go test ./... and go test -race ./...
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l . | grep -v '^tmp_' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go build ./...
+go vet ./...
+
+if [ "${1:-}" = "-full" ]; then
+    go test ./...
+    go test -race ./...
+fi
+echo "check.sh: OK"

@@ -1,0 +1,223 @@
+package repro
+
+// Integration tests for the obs trace layer through the lift facade: the
+// golden event sequence of deterministic single lifts, the contract that a
+// JSONL trace carries exactly the per-lift counts the pipeline's Stats
+// report, and counter determinism across worker counts.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/obs"
+	"repro/lift"
+)
+
+// traceOf lifts one scenario serially with a ring sink attached and
+// returns the recorded events plus the lift's result.
+func traceOf(t *testing.T, s *corpus.Scenario) ([]obs.Event, lift.Result) {
+	t.Helper()
+	ring := obs.NewRing(1 << 16)
+	res := lift.One(context.Background(), lift.Func(s.Name, s.Image, s.FuncAddr),
+		lift.Jobs(1), lift.Observe(ring))
+	if ring.Dropped() != 0 {
+		t.Fatalf("ring dropped %d events", ring.Dropped())
+	}
+	return ring.Events(), res
+}
+
+func filterKind(evs []obs.Event, k obs.Kind) []obs.Event {
+	var out []obs.Event
+	for _, e := range evs {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestGoldenTraceForks lifts the Section 2 weird-edge scenario — whose
+// aliasing store forks the memory model — and checks the trace's envelope
+// and its exact agreement with the machine's counters.
+func TestGoldenTraceForks(t *testing.T) {
+	s, err := corpus.WeirdEdge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, res := traceOf(t, s)
+	if len(evs) < 4 {
+		t.Fatalf("only %d events", len(evs))
+	}
+	// Envelope: task-start, lift-start ... lift-finish, task-finish, every
+	// event labelled with the lift's name.
+	if evs[0].Kind != obs.KTaskStart || evs[1].Kind != obs.KLiftStart {
+		t.Fatalf("trace opens %s, %s", evs[0].Kind, evs[1].Kind)
+	}
+	last := evs[len(evs)-1]
+	if evs[len(evs)-2].Kind != obs.KLiftFinish || last.Kind != obs.KTaskFinish {
+		t.Fatalf("trace closes %s, %s", evs[len(evs)-2].Kind, last.Kind)
+	}
+	for i, e := range evs {
+		if e.Lift != s.Name {
+			t.Fatalf("event %d labelled %q, want %q", i, e.Lift, s.Name)
+		}
+	}
+	// The fork/destroy/solver events reproduce the Stats counters exactly.
+	var forks uint64
+	for _, e := range filterKind(evs, obs.KFork) {
+		forks += e.N
+	}
+	if forks == 0 {
+		t.Fatal("weird-edge must fork at least once")
+	}
+	if want := res.Stats.Sem.Forks; forks != want {
+		t.Fatalf("fork events total %d, Stats.Sem.Forks = %d", forks, want)
+	}
+	if got, want := uint64(len(filterKind(evs, obs.KDestroy))), res.Stats.Sem.Destroys; got != want {
+		t.Fatalf("destroy events %d, Stats.Sem.Destroys = %d", got, want)
+	}
+	solver := filterKind(evs, obs.KSolver)
+	if got, want := uint64(len(solver)), res.Stats.Sem.SolverQueries; got != want {
+		t.Fatalf("solver events %d, Stats.Sem.SolverQueries = %d", got, want)
+	}
+	var hits uint64
+	for _, e := range solver {
+		if e.Hit {
+			hits++
+		}
+	}
+	if want := res.Stats.Sem.SolverHits; hits != want {
+		t.Fatalf("solver hit events %d, Stats.Sem.SolverHits = %d", hits, want)
+	}
+	if got, want := len(filterKind(evs, obs.KStep)), res.Func.Steps; got != want {
+		t.Fatalf("step events %d, FuncResult.Steps = %d", got, want)
+	}
+
+	// A serial lift is deterministic, so a second run replays the same
+	// fork/destroy sequence event for event.
+	evs2, _ := traceOf(t, s)
+	for _, k := range []obs.Kind{obs.KFork, obs.KDestroy} {
+		if a, b := filterKind(evs, k), filterKind(evs2, k); !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s sequence differs between identical serial runs", k)
+		}
+	}
+}
+
+// TestGoldenTraceObligations lifts the ret2win scenario and requires the
+// obligation events to replay the graph's generated proof obligations in
+// order.
+func TestGoldenTraceObligations(t *testing.T) {
+	s, err := corpus.Ret2Win()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, res := traceOf(t, s)
+	if res.Func == nil || res.Func.Graph == nil {
+		t.Fatalf("no graph (status %s)", res.Status)
+	}
+	want := res.Func.Graph.Obligations
+	if len(want) == 0 {
+		t.Fatal("ret2win must generate obligations")
+	}
+	got := filterKind(evs, obs.KObligation)
+	if len(got) != len(want) {
+		t.Fatalf("%d obligation events, graph has %d obligations", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Detail != want[i] {
+			t.Fatalf("obligation %d = %q, want %q", i, e.Detail, want[i])
+		}
+	}
+}
+
+// TestJSONLTraceMatchesStats is the acceptance check for the -trace flag:
+// decoding a JSONL trace and grouping by lift label must reproduce each
+// lift's fork/destroy/solver counts as reported by the pipeline's Stats.
+func TestJSONLTraceMatchesStats(t *testing.T) {
+	scenarios, err := corpus.AllScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]lift.Request, 0, len(scenarios))
+	for _, s := range scenarios {
+		reqs = append(reqs, lift.Func(s.Name, s.Image, s.FuncAddr))
+	}
+	var buf bytes.Buffer
+	jsonl := obs.NewJSONL(&buf)
+	sum := lift.Run(context.Background(), reqs, lift.Jobs(4), lift.Observe(jsonl))
+	if err := jsonl.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	type tally struct{ forks, destroys, queries, hits uint64 }
+	got := map[string]*tally{}
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var e struct {
+			Kind string `json:"k"`
+			Lift string `json:"lift"`
+			N    uint64 `json:"n"`
+			Hit  bool   `json:"hit"`
+		}
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		c := got[e.Lift]
+		if c == nil {
+			c = &tally{}
+			got[e.Lift] = c
+		}
+		switch e.Kind {
+		case "fork":
+			c.forks += e.N
+		case "destroy":
+			c.destroys++
+		case "solver":
+			c.queries++
+			if e.Hit {
+				c.hits++
+			}
+		}
+	}
+	for _, r := range sum.Results {
+		c := got[r.Name]
+		if c == nil {
+			t.Fatalf("no trace events for lift %q", r.Name)
+		}
+		if c.forks != r.Stats.Sem.Forks || c.destroys != r.Stats.Sem.Destroys ||
+			c.queries != r.Stats.Sem.SolverQueries || c.hits != r.Stats.Sem.SolverHits {
+			t.Fatalf("%s: trace counts forks=%d destroys=%d queries=%d hits=%d, Stats %+v",
+				r.Name, c.forks, c.destroys, c.queries, c.hits, r.Stats.Sem)
+		}
+	}
+}
+
+// TestMetricsDeterministicAcrossJobs runs the same corpus serially and at
+// four workers and requires every counter to agree except solver.hits,
+// which depends on memo-cache arrival order (concurrent misses on a fresh
+// key each count as a miss before the first verdict lands).
+func TestMetricsDeterministicAcrossJobs(t *testing.T) {
+	scenarios, err := corpus.AllScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]lift.Request, 0, len(scenarios))
+	for _, s := range scenarios {
+		reqs = append(reqs, lift.Func(s.Name, s.Image, s.FuncAddr))
+	}
+	snap := func(jobs int) map[string]uint64 {
+		m := obs.NewMetrics()
+		lift.Run(context.Background(), reqs, lift.Jobs(jobs), lift.Observe(m))
+		c := m.CounterSnapshot()
+		delete(c, "solver.hits")
+		return c
+	}
+	serial, parallel := snap(1), snap(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("counters diverge across job counts:\n-jobs 1: %v\n-jobs 4: %v", serial, parallel)
+	}
+}
