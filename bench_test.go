@@ -159,7 +159,7 @@ func benchFigure3(b *testing.B, stmts int) {
 		instrs = 0
 		for _, u := range dir.Units {
 			l := core.New(u.Image, core.DefaultConfig())
-			fr := l.LiftFunc(u.FuncAddr, u.Name)
+			fr := l.LiftFuncCtx(context.Background(), u.FuncAddr, u.Name)
 			instrs += fr.Stats().Instructions
 		}
 	}
@@ -180,7 +180,7 @@ func BenchmarkWeirdEdge(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l := core.New(s.Image, core.DefaultConfig())
-		r := l.LiftFunc(s.FuncAddr, s.Name)
+		r := l.LiftFuncCtx(context.Background(), s.FuncAddr, s.Name)
 		if r.Status != core.StatusLifted {
 			b.Fatal(r.Status)
 		}
@@ -201,7 +201,7 @@ func BenchmarkFailures(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, s := range scenarios {
 			l := core.New(s.Image, core.DefaultConfig())
-			l.LiftFunc(s.FuncAddr, s.Name)
+			l.LiftFuncCtx(context.Background(), s.FuncAddr, s.Name)
 		}
 	}
 }
@@ -218,7 +218,7 @@ func benchAblation(b *testing.B, mutate func(*core.Config)) {
 			}
 			mutate(&cfg)
 			l := core.New(u.Image, cfg)
-			l.LiftFunc(u.FuncAddr, u.Name)
+			l.LiftFuncCtx(context.Background(), u.FuncAddr, u.Name)
 		}
 	}
 }

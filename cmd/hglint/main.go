@@ -1,0 +1,160 @@
+// Command hglint statically analyses Hoare graphs for well-formedness:
+// structural soundness (dangling edges, terminal out-edges, unreachable
+// vertices), memory-model forest invariants (duplicate or necessarily
+// overlapping live regions, refuted relations), predicate canonicality
+// (return-address clause coverage, bounded indirect control flow) and
+// solver-backed clause consistency — the cheap "typechecker" that runs
+// before the expensive Step-2 theorem checker.
+//
+// Usage:
+//
+//	hglint [-func addr|name] [-hg graph.hg] [-json] [-rules r1,r2] [-list] binary.elf
+//
+// Without flags the binary is lifted end to end from its entry point and
+// every successfully lifted graph is linted. With -func only that
+// function is lifted; with -hg a previously exported .hg graph is loaded
+// against the binary and linted without lifting. -json emits the
+// machine-readable report; -rules restricts the run to a comma-separated
+// rule subset; -list prints the rule catalog and exits.
+//
+// Exit status: 0 when no error-severity diagnostic fired, 1 otherwise
+// (or on any I/O failure), 2 on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hglint"
+	"repro/internal/hoare"
+	"repro/internal/image"
+	"repro/internal/solver"
+)
+
+func main() {
+	funcSpec := flag.String("func", "", "lint a single function: hex address or symbol name")
+	hgIn := flag.String("hg", "", "lint a previously exported .hg graph against the binary")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON reports")
+	ruleList := flag.String("rules", "", "comma-separated rule subset (default: all)")
+	list := flag.Bool("list", false, "print the rule catalog and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range hglint.Rules() {
+			fmt.Printf("%-22s %-5s %s\n", r.Name, r.Severity, r.Doc)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hglint [-func addr|name] [-hg graph.hg] [-json] [-rules r1,r2] [-list] binary.elf")
+		os.Exit(2)
+	}
+	if *hgIn != "" && *funcSpec != "" {
+		fmt.Fprintln(os.Stderr, "hglint: -hg and -func are mutually exclusive")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	im, err := image.Load(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	var opts []hglint.Option
+	if *ruleList != "" {
+		opts = append(opts, hglint.Only(strings.Split(*ruleList, ",")...))
+	}
+	// One shared memo cache across the graphs of a binary: lint queries
+	// repeat heavily for stack-relative regions.
+	opts = append(opts, hglint.WithCache(solver.NewCache()))
+
+	reports, skipped := collect(im, *hgIn, *funcSpec, opts)
+	errors := 0
+	for _, rep := range reports {
+		errors += rep.Errors()
+		if *jsonOut {
+			fmt.Printf("%s\n", rep.JSON())
+		} else {
+			fmt.Print(rep)
+		}
+	}
+	for _, s := range skipped {
+		fmt.Fprintln(os.Stderr, "hglint:", s)
+	}
+	if errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// collect produces the lint reports for the requested mode, plus notes
+// about graphs that could not be linted (failed lifts).
+func collect(im *image.Image, hgIn, funcSpec string, opts []hglint.Option) ([]*hglint.Report, []string) {
+	if hgIn != "" {
+		hg, err := os.ReadFile(hgIn)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := hoare.Load(im, hg)
+		if err != nil {
+			fatal(err)
+		}
+		return []*hglint.Report{hglint.Lint(g, opts...)}, nil
+	}
+
+	l := core.New(im, core.DefaultConfig())
+	if funcSpec != "" {
+		addr, name, err := resolveFunc(im, funcSpec)
+		if err != nil {
+			fatal(err)
+		}
+		fr := l.LiftFuncCtx(context.Background(), addr, name)
+		if fr.Status != core.StatusLifted || fr.Graph == nil {
+			fatal(fmt.Errorf("lift %s: %s %v", name, fr.Status, fr.Reasons))
+		}
+		return []*hglint.Report{hglint.Lint(fr.Graph, opts...)}, nil
+	}
+
+	br := l.LiftBinaryCtx(context.Background(), "binary")
+	var reports []*hglint.Report
+	var skipped []string
+	for _, fr := range br.Funcs {
+		if fr.Status != core.StatusLifted || fr.Graph == nil {
+			skipped = append(skipped, fmt.Sprintf("%s: not lifted (%s) — skipped", fr.Name, fr.Status))
+			continue
+		}
+		reports = append(reports, hglint.Lint(fr.Graph, opts...))
+	}
+	if len(reports) == 0 {
+		fatal(fmt.Errorf("binary: no lifted graph to lint (status %s)", br.Status))
+	}
+	return reports, skipped
+}
+
+func resolveFunc(im *image.Image, spec string) (uint64, string, error) {
+	if addr, err := strconv.ParseUint(spec, 0, 64); err == nil {
+		name := fmt.Sprintf("sub_%x", addr)
+		if n, ok := im.SymbolName(addr); ok {
+			name = n
+		}
+		return addr, name, nil
+	}
+	for _, s := range im.FuncSymbols() {
+		if s.Name == spec {
+			return s.Value, spec, nil
+		}
+	}
+	return 0, "", fmt.Errorf("hglint: no function %q", spec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hglint:", err)
+	os.Exit(1)
+}

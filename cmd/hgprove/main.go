@@ -10,12 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 
 	"repro"
+	"repro/internal/hglint"
 	"repro/internal/hoare"
 	"repro/internal/image"
 	"repro/internal/sem"
@@ -49,7 +51,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rep := triple.CheckGraph(im, g, sem.DefaultConfig(), 4)
+		// Fail-fast precheck: an externally supplied graph may be
+		// malformed in ways the theorem checker would only report as
+		// opaque failures. Lint it first and refuse broken input.
+		lrep := hglint.Lint(g)
+		for _, d := range lrep.Diagnostics {
+			fmt.Fprintf(os.Stderr, "hgprove: lint: %s\n", d)
+		}
+		if lrep.HasErrors() {
+			fatal(fmt.Errorf("%s: %d hglint errors; not running Step 2", g.FuncName, lrep.Errors()))
+		}
+		rep := triple.Check(context.Background(), im, g, sem.DefaultConfig(), triple.Workers(4))
 		fmt.Printf("%s: %d proven, %d assumed, %d failed\n", g.FuncName, rep.Proven, rep.Assumed, rep.Failed)
 		for _, th := range rep.Sorted() {
 			if th.Verdict == triple.Failed {

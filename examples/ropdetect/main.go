@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 		log.Fatal(err)
 	}
 	l := core.New(s.Image, core.DefaultConfig())
-	r := l.LiftFunc(s.FuncAddr, s.Name)
+	r := l.LiftFuncCtx(context.Background(), s.FuncAddr, s.Name)
 	fmt.Printf("status: %s\n", r.Status)
 	for _, o := range r.Graph.Obligations {
 		fmt.Printf("obligation: %s\n", o)
@@ -38,7 +39,7 @@ func main() {
 			log.Fatal(err)
 		}
 		l := core.New(s.Image, core.DefaultConfig())
-		r := l.LiftFunc(s.FuncAddr, s.Name)
+		r := l.LiftFuncCtx(context.Background(), s.FuncAddr, s.Name)
 		fmt.Printf("%-12s -> %s\n", s.Name, r.Status)
 		for _, reason := range r.Reasons {
 			fmt.Printf("             %s\n", reason)

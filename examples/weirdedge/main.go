@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 	fmt.Println(s.Describe)
 
 	l := core.New(s.Image, core.DefaultConfig())
-	r := l.LiftFunc(s.FuncAddr, s.Name)
+	r := l.LiftFuncCtx(context.Background(), s.FuncAddr, s.Name)
 	fmt.Printf("\nlift status: %s, %d instructions, %d states, %d resolved indirection(s)\n",
 		r.Status, r.Stats().Instructions, r.Stats().States, r.Stats().ResolvedInd)
 
@@ -56,7 +57,7 @@ func main() {
 		}
 	}
 
-	rep := triple.CheckGraph(s.Image, r.Graph, sem.DefaultConfig(), 2)
+	rep := triple.Check(context.Background(), s.Image, r.Graph, sem.DefaultConfig(), triple.Workers(2))
 	fmt.Printf("\nStep 2: %d theorems proven, %d assumed, %d failed\n",
 		rep.Proven, rep.Assumed, rep.Failed)
 }

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// The analyzers match on fully qualified names, so the tests typecheck
+// small stand-ins for the real packages under their real import paths
+// and wire them together with a map-backed importer. This keeps the
+// tests hermetic: no export data, no dependency on the actual packages.
+
+const coreSrc = `package core
+import "context"
+type Lifter struct{}
+func (l *Lifter) LiftFunc(addr uint64, name string) int { return l.LiftFuncCtx(context.Background(), addr, name) }
+func (l *Lifter) LiftBinary(name string) int { return l.LiftBinaryCtx(context.Background(), name) }
+func (l *Lifter) LiftFuncCtx(ctx context.Context, addr uint64, name string) int { return 0 }
+func (l *Lifter) LiftBinaryCtx(ctx context.Context, name string) int { return 0 }
+`
+
+const pipelineSrc = `package pipeline
+import "context"
+func Run() int { return RunCtx(context.Background()) }
+func RunCtx(ctx context.Context) int { return 0 }
+`
+
+const tripleSrc = `package triple
+import "context"
+func CheckGraph() int { return Check(context.Background()) }
+func Check(ctx context.Context) int { return 0 }
+`
+
+const obsSrc = `package obs
+type Ring struct{}
+type Tracer struct {
+	Sink *Ring
+	lift string
+}
+func (t *Tracer) Step(addr uint64) {
+	if t == nil { return }
+	_ = t.Sink
+	_ = t.lift
+}
+`
+
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m[path]; ok {
+		return pkg, nil
+	}
+	return nil, &types.Error{Msg: "no package " + path}
+}
+
+// typecheck parses and typechecks one file as the given import path and
+// returns a ready Pass.
+func typecheck(t *testing.T, path, src string, imp types.Importer) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, strings.ReplaceAll(path, "/", "_")+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := (&types.Config{Importer: imp}).Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	return &Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+// stubImporter typechecks the stand-in packages and serves them (plus a
+// minimal context stub) to the test package under analysis.
+func stubImporter(t *testing.T) mapImporter {
+	t.Helper()
+	imp := mapImporter{}
+	ctxPass := typecheck(t, "context", `package context
+type Context interface{}
+func Background() Context { return nil }
+`, imp)
+	imp["context"] = ctxPass.Pkg
+	for path, src := range map[string]string{
+		"repro/internal/core":     coreSrc,
+		"repro/internal/pipeline": pipelineSrc,
+		"repro/internal/triple":   tripleSrc,
+		"repro/internal/obs":      obsSrc,
+	} {
+		imp[path] = typecheck(t, path, src, imp).Pkg
+	}
+	return imp
+}
+
+func TestAnalyzers(t *testing.T) {
+	imp := stubImporter(t)
+	pass := typecheck(t, "example.com/use", `package use
+
+import (
+	"context"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/triple"
+)
+
+func use(l *core.Lifter, tr *obs.Tracer) {
+	_ = l.LiftFunc(1, "f")     // ctxless
+	_ = l.LiftBinary("b")      // ctxless
+	_ = pipeline.Run()         // ctxless
+	_ = triple.CheckGraph()    // ctxless
+	_ = l.LiftFuncCtx(context.Background(), 1, "f")
+	_ = pipeline.RunCtx(context.Background())
+	_ = triple.Check(context.Background())
+	_ = tr.Sink // obsnil
+	tr.Step(1)
+	_ = l.LiftFunc(1, "f") //reprovet:ignore ctxless
+	//reprovet:ignore
+	_ = tr.Sink
+	_ = pipeline.Run() //reprovet:ignore obsnil
+}
+`, imp)
+	diags := Run(pass, All())
+	type finding struct {
+		line     int
+		analyzer string
+	}
+	var got []finding
+	for _, d := range diags {
+		got = append(got, finding{pass.Fset.Position(d.Pos).Line, d.Analyzer})
+	}
+	want := []finding{
+		{12, "ctxless"}, {13, "ctxless"}, {14, "ctxless"}, {15, "ctxless"},
+		{19, "obsnil"},
+		{24, "ctxless"}, // the obsnil-only directive must not hide ctxless
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCtxlessMessageNamesReplacement(t *testing.T) {
+	imp := stubImporter(t)
+	pass := typecheck(t, "example.com/msg", `package msg
+import "repro/internal/pipeline"
+func f() { _ = pipeline.Run() }
+`, imp)
+	diags := Run(pass, []*Analyzer{Ctxless})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(diags))
+	}
+	if !strings.Contains(diags[0].Msg, "RunCtx") {
+		t.Fatalf("message %q does not name the replacement", diags[0].Msg)
+	}
+}
+
+func TestObsnilExemptsPackageObs(t *testing.T) {
+	// The stand-in obs package accesses its own fields from a method —
+	// that must not fire, including for the test-variant package path.
+	imp := mapImporter{}
+	for _, path := range []string{obsPath, obsPath + " [" + obsPath + ".test]"} {
+		pass := typecheck(t, path, obsSrc, imp)
+		if diags := Run(pass, []*Analyzer{Obsnil}); len(diags) != 0 {
+			t.Fatalf("%s: got %d diagnostics, want 0: %v", path, len(diags), diags)
+		}
+	}
+}
+
+func TestObsnilFlagsValueReceiverToo(t *testing.T) {
+	imp := stubImporter(t)
+	pass := typecheck(t, "example.com/val", `package val
+import "repro/internal/obs"
+func f(tr obs.Tracer, p *obs.Tracer) {
+	_ = tr.Sink
+	_ = p.Sink
+}
+`, imp)
+	diags := Run(pass, []*Analyzer{Obsnil})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+}
+
+func TestRunOrdersDeterministically(t *testing.T) {
+	imp := stubImporter(t)
+	src := `package ord
+import (
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+func f(tr *obs.Tracer) {
+	_ = tr.Sink
+	_ = pipeline.Run()
+	_ = tr.Sink
+}
+`
+	var prev []Diagnostic
+	for i := 0; i < 5; i++ {
+		pass := typecheck(t, "example.com/ord", src, imp)
+		diags := Run(pass, All())
+		if len(diags) != 3 {
+			t.Fatalf("got %d diagnostics", len(diags))
+		}
+		if prev != nil {
+			for j := range diags {
+				if diags[j].Analyzer != prev[j].Analyzer || diags[j].Msg != prev[j].Msg {
+					t.Fatalf("run %d reordered: %v vs %v", i, diags, prev)
+				}
+			}
+		}
+		prev = diags
+	}
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// deprecatedEntrypoints maps the FullName of each Deprecated
+// non-context entrypoint to its context-aware replacement.
+var deprecatedEntrypoints = map[string]string{
+	"(*repro/internal/core.Lifter).LiftFunc":   "LiftFuncCtx",
+	"(*repro/internal/core.Lifter).LiftBinary": "LiftBinaryCtx",
+	"repro/internal/pipeline.Run":              "RunCtx",
+	"repro/internal/triple.CheckGraph":         "Check",
+}
+
+// Ctxless flags every use of a Deprecated non-context entrypoint. The
+// wrappers exist for compatibility only: they take no context, so their
+// callers cannot cancel lifting or proving, and they bypass the
+// per-task deadline plumbing.
+var Ctxless = &Analyzer{
+	Name: "ctxless",
+	Doc:  "flags calls to the deprecated non-context lift/check entrypoints",
+	Run:  runCtxless,
+}
+
+func runCtxless(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for ident, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		repl, ok := deprecatedEntrypoints[fn.FullName()]
+		if !ok {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos: ident.Pos(),
+			Msg: fmt.Sprintf("%s is deprecated and context-less; use %s", fn.Name(), repl),
+		})
+	}
+	return diags
+}

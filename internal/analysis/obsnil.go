@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"strings"
+)
+
+const obsPath = "repro/internal/obs"
+
+// Obsnil flags direct field access on obs.Tracer outside package obs.
+// The disabled tracer is a nil *Tracer by design — every emission
+// helper is nil-safe, but a field selection on the nil pointer panics.
+// Package obs itself (including its internal tests) owns the receiver
+// and is exempt.
+var Obsnil = &Analyzer{
+	Name: "obsnil",
+	Doc:  "flags direct field access on possibly-nil *obs.Tracer",
+	Run:  runObsnil,
+}
+
+func runObsnil(pass *Pass) []Diagnostic {
+	// Test variants typecheck under paths like
+	// "repro/internal/obs [repro/internal/obs.test]".
+	if p, _, _ := strings.Cut(pass.Pkg.Path(), " ["); p == obsPath {
+		return nil
+	}
+	var diags []Diagnostic
+	for sel, s := range pass.Info.Selections {
+		if s.Kind() != types.FieldVal {
+			continue
+		}
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			continue
+		}
+		if named.Obj().Pkg().Path() != obsPath || named.Obj().Name() != "Tracer" {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos: sel.Sel.Pos(),
+			Msg: fmt.Sprintf("direct access to field %s on possibly-nil *obs.Tracer; use its nil-safe methods", s.Obj().Name()),
+		})
+	}
+	return diags
+}

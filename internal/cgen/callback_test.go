@@ -1,6 +1,7 @@
 package cgen
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -61,7 +62,7 @@ func TestFuncAddrCallback(t *testing.T) {
 
 	// Lift: the callback's call site is an unresolved indirect call.
 	l := core.New(res.Image, core.DefaultConfig())
-	br := l.LiftBinary("cbdemo")
+	br := l.LiftBinaryCtx(context.Background(), "cbdemo")
 	if br.Status != core.StatusLifted {
 		t.Fatalf("status: %s", br.Status)
 	}
@@ -125,7 +126,7 @@ func TestMemsetIdiom(t *testing.T) {
 		t.Fatalf("compiled %d vs interpreted %d", got, want)
 	}
 	l := core.New(res.Image, core.DefaultConfig())
-	br := l.LiftBinary("memset-idiom")
+	br := l.LiftBinaryCtx(context.Background(), "memset-idiom")
 	if br.Status != core.StatusLifted {
 		for _, fr := range br.Funcs {
 			t.Logf("%s: %s %v", fr.Name, fr.Status, fr.Reasons)

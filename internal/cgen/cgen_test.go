@@ -1,6 +1,7 @@
 package cgen
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -180,7 +181,7 @@ func TestCompiledProgramLifts(t *testing.T) {
 		t.Fatal(err)
 	}
 	l := core.New(res.Image, core.DefaultConfig())
-	r := l.LiftBinary("compiled")
+	r := l.LiftBinaryCtx(context.Background(), "compiled")
 	if r.Status != core.StatusLifted {
 		for _, fr := range r.Funcs {
 			t.Logf("%s: %s %v", fr.Name, fr.Status, fr.Reasons)
@@ -250,7 +251,7 @@ func TestGeneratedFeatureStatuses(t *testing.T) {
 			t.Fatal(err)
 		}
 		l := core.New(res.Image, core.DefaultConfig())
-		return l.LiftFunc(res.Funcs["f"], "f").Status
+		return l.LiftFuncCtx(context.Background(), res.Funcs["f"], "f").Status
 	}
 
 	fe := DefaultFeatures()

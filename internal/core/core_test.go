@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -104,7 +105,7 @@ func lift(t *testing.T, b *builder, fn string) *FuncResult {
 	im := b.Image()
 	l := New(im, DefaultConfig())
 	addr := b.funcSyms[fn]
-	return l.LiftFunc(addr, fn)
+	return l.LiftFuncCtx(context.Background(), addr, fn)
 }
 
 func TestLiftLeafFunction(t *testing.T) {
@@ -199,7 +200,7 @@ func TestLiftInternalCall(t *testing.T) {
 	h.I(x86.RET)
 	im := b.Image()
 	l := New(im, DefaultConfig())
-	r := l.LiftFunc(b.funcSyms["main"], "main")
+	r := l.LiftFuncCtx(context.Background(), b.funcSyms["main"], "main")
 	if r.Status != StatusLifted || !r.Returns {
 		t.Fatalf("main: %s %v", r.Status, r.Reasons)
 	}
@@ -209,7 +210,7 @@ func TestLiftInternalCall(t *testing.T) {
 		t.Fatalf("summaries: %d", len(sums))
 	}
 	// Lifting again reuses the cache.
-	r2 := l.LiftFunc(b.funcSyms["helper"], "helper")
+	r2 := l.LiftFuncCtx(context.Background(), b.funcSyms["helper"], "helper")
 	if !r2.Returns || r2.Status != StatusLifted {
 		t.Fatalf("helper: %s", r2.Status)
 	}
@@ -235,7 +236,7 @@ func TestCalleeNeverReturns(t *testing.T) {
 	b.asm.I(x86.UD2)
 	im := b.Image()
 	l := New(im, DefaultConfig())
-	r := l.LiftFunc(b.funcSyms["main"], "main")
+	r := l.LiftFuncCtx(context.Background(), b.funcSyms["main"], "main")
 	if r.Status != StatusLifted {
 		t.Fatalf("status: %s %v", r.Status, r.Reasons)
 	}
@@ -338,7 +339,7 @@ func TestStackProbing(t *testing.T) {
 	p.I(x86.RET)
 	im := b.Image()
 	l := New(im, DefaultConfig())
-	r := l.LiftFunc(b.funcSyms["f"], "f")
+	r := l.LiftFuncCtx(context.Background(), b.funcSyms["f"], "f")
 	if r.Status != StatusUnprovableRet {
 		t.Fatalf("stack probing must be rejected: %s %v", r.Status, r.Reasons)
 	}
@@ -426,7 +427,7 @@ func TestTimeoutBudget(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxStates = 3
 	l := New(im, cfg)
-	r := l.LiftFunc(b.funcSyms["f"], "f")
+	r := l.LiftFuncCtx(context.Background(), b.funcSyms["f"], "f")
 	if r.Status != StatusTimeout {
 		t.Fatalf("status: %s", r.Status)
 	}
@@ -507,7 +508,7 @@ func TestAblationJoinCodePointers(t *testing.T) {
 
 	// Default: resolved.
 	l := New(im, DefaultConfig())
-	r := l.LiftFunc(b.funcSyms["f"], "f")
+	r := l.LiftFuncCtx(context.Background(), b.funcSyms["f"], "f")
 	if r.Stats().ResolvedInd != 1 || r.Stats().UnresolvedJump != 0 {
 		t.Fatalf("default config: %+v (%s)", r.Stats(), r.Status)
 	}
@@ -516,7 +517,7 @@ func TestAblationJoinCodePointers(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.JoinCodePointers = true
 	l2 := New(im, cfg)
-	r2 := l2.LiftFunc(b.funcSyms["f"], "f")
+	r2 := l2.LiftFuncCtx(context.Background(), b.funcSyms["f"], "f")
 	if r2.Stats().UnresolvedJump == 0 {
 		t.Fatalf("ablation should lose the indirection: %+v", r2.Stats())
 	}
@@ -545,7 +546,7 @@ func TestSoundnessAgainstEmulator(t *testing.T) {
 	a.I(x86.RET)
 	im := b.Image()
 	l := New(im, DefaultConfig())
-	r := l.LiftFunc(b.funcSyms["f"], "f")
+	r := l.LiftFuncCtx(context.Background(), b.funcSyms["f"], "f")
 	if r.Status != StatusLifted {
 		t.Fatalf("status: %s %v", r.Status, r.Reasons)
 	}
@@ -611,7 +612,7 @@ func TestLiftBinaryAggregates(t *testing.T) {
 	im := b.Image()
 	l := New(im, DefaultConfig())
 	// Entry is textBase (start).
-	res := l.LiftBinary("test-bin")
+	res := l.LiftBinaryCtx(context.Background(), "test-bin")
 	if res.Status != StatusLifted {
 		t.Fatalf("binary status: %s", res.Status)
 	}
@@ -643,7 +644,7 @@ func TestSummariesSortedAndCached(t *testing.T) {
 	f2.I(x86.RET)
 	im := b.Image()
 	l := New(im, DefaultConfig())
-	r := l.LiftFunc(b.funcSyms["zmain"], "zmain")
+	r := l.LiftFuncCtx(context.Background(), b.funcSyms["zmain"], "zmain")
 	if r.Status != StatusLifted {
 		t.Fatal(r.Status)
 	}
@@ -657,7 +658,7 @@ func TestSummariesSortedAndCached(t *testing.T) {
 		}
 	}
 	// Cached: a second lift returns the same pointer.
-	if l.LiftFunc(b.funcSyms["aaa"], "aaa") != l.LiftFunc(b.funcSyms["aaa"], "aaa") {
+	if l.LiftFuncCtx(context.Background(), b.funcSyms["aaa"], "aaa") != l.LiftFuncCtx(context.Background(), b.funcSyms["aaa"], "aaa") {
 		t.Fatal("summary caching broken")
 	}
 }
@@ -674,5 +675,24 @@ func TestExploitCandidatesEmptyForBenign(t *testing.T) {
 	// Nil graph tolerated.
 	if got := ExploitCandidates(&FuncResult{}); got != nil {
 		t.Fatal("nil graph")
+	}
+}
+
+// TestDeprecatedLiftWrappers keeps the compatibility shims covered: the
+// context-less entrypoints must behave exactly like their Ctx forms.
+func TestDeprecatedLiftWrappers(t *testing.T) {
+	b := newBuilder(t)
+	a := b.Func("f")
+	a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.ImmOp(1, 4))
+	a.I(x86.RET)
+	im := b.Image()
+	l := New(im, DefaultConfig())
+	r := l.LiftFunc(b.funcSyms["f"], "f") //reprovet:ignore ctxless
+	if r.Status != StatusLifted {
+		t.Fatalf("LiftFunc wrapper: %s %v", r.Status, r.Reasons)
+	}
+	br := l.LiftBinary("wrap") //reprovet:ignore ctxless
+	if br == nil || len(br.Funcs) == 0 {
+		t.Fatal("LiftBinary wrapper returned no functions")
 	}
 }

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ import (
 func liftScenario(t *testing.T, s *Scenario) *core.FuncResult {
 	t.Helper()
 	l := core.New(s.Image, core.DefaultConfig())
-	return l.LiftFunc(s.FuncAddr, s.Name)
+	return l.LiftFuncCtx(context.Background(), s.FuncAddr, s.Name)
 }
 
 // TestWeirdEdge replays Section 2 end to end: the binary lifts, the jump
@@ -84,7 +85,7 @@ func TestWeirdEdge(t *testing.T) {
 	}
 
 	// Step 2 proves the graph.
-	rep := triple.CheckGraph(s.Image, r.Graph, sem.DefaultConfig(), 2)
+	rep := triple.Check(context.Background(), s.Image, r.Graph, sem.DefaultConfig(), triple.Workers(2))
 	if !rep.AllProven() {
 		for _, th := range rep.Sorted() {
 			if th.Verdict == triple.Failed {
@@ -174,7 +175,7 @@ func TestDirectoryOutcomes(t *testing.T) {
 			cfg.MaxStates = u.Budget
 		}
 		l := core.New(u.Image, cfg)
-		r := l.LiftFunc(u.FuncAddr, u.Name)
+		r := l.LiftFuncCtx(context.Background(), u.FuncAddr, u.Name)
 		total++
 		if r.Status == u.Expect {
 			match++
@@ -239,7 +240,7 @@ func TestCoreUtilsSuite(t *testing.T) {
 	for _, u := range units {
 		names[u.Name] = true
 		l := core.New(u.Image, core.DefaultConfig())
-		r := l.LiftBinary(u.Name)
+		r := l.LiftBinaryCtx(context.Background(), u.Name)
 		if r.Status != core.StatusLifted {
 			t.Errorf("%s: %s", u.Name, r.Status)
 		}

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -103,7 +104,7 @@ func TestOverapproximationOnGeneratedCorpus(t *testing.T) {
 			t.Fatal(err)
 		}
 		l := core.New(res.Image, core.DefaultConfig())
-		br := l.LiftBinary("gen")
+		br := l.LiftBinaryCtx(context.Background(), "gen")
 		if br.Status != core.StatusLifted {
 			// A rejected binary makes no overapproximation claim.
 			continue
@@ -140,7 +141,7 @@ func TestOverapproximationScenarioBinaries(t *testing.T) {
 		t.Fatal(err)
 	}
 	l := core.New(s.Image, core.DefaultConfig())
-	r := l.LiftFunc(s.FuncAddr, s.Name)
+	r := l.LiftFuncCtx(context.Background(), s.FuncAddr, s.Name)
 	if r.Status != core.StatusLifted {
 		t.Fatal(r.Status)
 	}

@@ -143,9 +143,26 @@ func (p *parser) expr() (*Expr, error) {
 		if err := p.eat(')'); err != nil {
 			return nil, err
 		}
+		if min, max := opArity(op); len(args) < min || (max >= 0 && len(args) > max) {
+			return nil, p.fail("operator %q applied to %d arguments", name, len(args))
+		}
 		return App(op, args...), nil
 	}
 	return nil, p.fail("unexpected input")
+}
+
+// opArity gives the argument counts the canonical syntax allows per
+// operator (max -1 = unbounded). App assumes these hold; inputs from
+// outside must be checked here before reaching it.
+func opArity(op Op) (min, max int) {
+	switch op {
+	case OpAdd, OpMul:
+		return 1, -1
+	case OpNot, OpNeg, OpSExt8, OpSExt16, OpSExt32:
+		return 1, 1
+	default:
+		return 2, 2
+	}
 }
 
 func isHex(c byte) bool {

@@ -1,0 +1,172 @@
+// Memory-model rules: forest well-formedness (Section 3.2). A memory
+// model is a forest of trees — nodes of mutually aliasing regions with
+// enclosed children, siblings separate. Well-formedness means: no empty
+// nodes, no region recorded twice (a region has exactly one position in
+// R(M)), enclosure is acyclic, no two live regions may necessarily
+// partially overlap (Definition 3.7 destroys such regions at insertion),
+// and no relation the model asserts is refuted by the solver under the
+// vertex's own predicate.
+
+package hglint
+
+import (
+	"fmt"
+
+	"repro/internal/hoare"
+	"repro/internal/memmodel"
+	"repro/internal/solver"
+)
+
+func init() {
+	Register(Rule{
+		Name:     "mm-empty-tree",
+		Severity: SevError,
+		Doc:      "no memory tree node is empty",
+		Check:    perVertexModel(checkEmptyTree),
+	})
+	Register(Rule{
+		Name:     "mm-dup-region",
+		Severity: SevError,
+		Doc:      "no region occurs twice in a memory forest",
+		Check:    perVertexModel(checkDupRegion),
+	})
+	Register(Rule{
+		Name:     "mm-cycle",
+		Severity: SevError,
+		Doc:      "enclosure is acyclic: no region encloses itself",
+		Check:    perVertexModel(checkCycle),
+	})
+	Register(Rule{
+		Name:     "mm-partial-overlap",
+		Severity: SevError,
+		Doc:      "no two live regions necessarily partially overlap",
+		Check:    perVertexModel(checkPartialOverlap),
+	})
+	Register(Rule{
+		Name:     "mm-relation-refuted",
+		Severity: SevError,
+		Doc:      "no asserted region relation is refuted by the solver",
+		Check:    perVertexModel(checkRelationRefuted),
+	})
+}
+
+// perVertexModel lifts a per-vertex forest check over every vertex that
+// carries a state, in deterministic vertex order.
+func perVertexModel(check func(ctx *Ctx, v *hoare.Vertex)) func(*Ctx) {
+	return func(ctx *Ctx) {
+		for _, v := range ctx.Graph.SortedVertices() {
+			if v.State == nil {
+				continue
+			}
+			check(ctx, v)
+		}
+	}
+}
+
+// regionKey mirrors the forest's canonical region identity.
+func regionKey(r solver.Region) string {
+	return fmt.Sprintf("%s#%d", r.Addr.Key(), r.Size)
+}
+
+func checkEmptyTree(ctx *Ctx, v *hoare.Vertex) {
+	var walk func(f memmodel.Forest)
+	walk = func(f memmodel.Forest) {
+		for _, t := range f {
+			if len(t.Regions) == 0 {
+				ctx.Reportf(v.ID, v.Addr, "memory tree node has no regions")
+			}
+			walk(t.Kids)
+		}
+	}
+	walk(v.State.Mem)
+}
+
+func checkDupRegion(ctx *Ctx, v *hoare.Vertex) {
+	seen := map[string]bool{}
+	for _, r := range v.State.Mem.AllRegions(nil) {
+		k := regionKey(r)
+		if seen[k] {
+			ctx.Reportf(v.ID, v.Addr, "region %s occurs twice in the memory forest", k)
+		}
+		seen[k] = true
+	}
+}
+
+// checkCycle walks each tree with its ancestor path: a region key that
+// reappears below itself would make enclosure cyclic (a region enclosed
+// in itself), which no concrete state can satisfy.
+func checkCycle(ctx *Ctx, v *hoare.Vertex) {
+	path := map[string]bool{}
+	var walk func(f memmodel.Forest)
+	walk = func(f memmodel.Forest) {
+		for _, t := range f {
+			var keys []string
+			cyclic := false
+			for _, r := range t.Regions {
+				k := regionKey(r)
+				if path[k] {
+					ctx.Reportf(v.ID, v.Addr, "region %s is enclosed in itself", k)
+					cyclic = true
+				}
+				keys = append(keys, k)
+			}
+			if cyclic {
+				continue // don't recurse through an already-reported cycle
+			}
+			for _, k := range keys {
+				path[k] = true
+			}
+			walk(t.Kids)
+			for _, k := range keys {
+				delete(path, k)
+			}
+		}
+	}
+	walk(v.State.Mem)
+}
+
+// checkPartialOverlap asks the solver, under the vertex's own predicate,
+// whether any pair of live regions necessarily partially overlaps.
+// Definition 3.7 destroys possibly-partially-overlapping regions at
+// insertion, so a surviving necessary overlap means the model tracks two
+// regions no concrete state can hold simultaneously as separate objects.
+func checkPartialOverlap(ctx *Ctx, v *hoare.Vertex) {
+	regions := v.State.Mem.AllRegions(nil)
+	p := v.State.Pred
+	for i := 0; i < len(regions); i++ {
+		for j := i + 1; j < len(regions); j++ {
+			res := ctx.Compare(p, regions[i], regions[j])
+			if res.Partial == solver.Yes {
+				ctx.Reportf(v.ID, v.Addr, "live regions %s and %s necessarily partially overlap",
+					regionKey(regions[i]), regionKey(regions[j]))
+			}
+		}
+	}
+}
+
+// checkRelationRefuted verifies every relation the model asserts is at
+// least possible: an aliasing pair the solver proves non-aliasing, a
+// separate pair it proves overlapping, or an enclosure it proves outside
+// makes the model unsatisfiable — R(M) would hold in no concrete state.
+func checkRelationRefuted(ctx *Ctx, v *hoare.Vertex) {
+	p := v.State.Pred
+	for _, rel := range v.State.Mem.RelationsDetailed() {
+		res := ctx.Compare(p, rel.A, rel.B)
+		refuted := false
+		switch rel.Op {
+		case "≡":
+			refuted = res.Alias == solver.No
+		case "⋈":
+			refuted = res.Separate == solver.No
+		case "⪯":
+			// A child may sit anywhere inside its parent, including
+			// exactly on top of it, so enclosure is refuted only when
+			// both strict enclosure and aliasing are impossible.
+			refuted = res.Enclosed == solver.No && res.Alias == solver.No
+		}
+		if refuted {
+			ctx.Reportf(v.ID, v.Addr, "model asserts %s %s %s but the solver refutes it",
+				regionKey(rel.A), rel.Op, regionKey(rel.B))
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package hoare_test
+
+// Fuzz target for the .hg serial format, seeded with the marshals of
+// every lifted corpus scenario. For any input that parses, the format
+// must round-trip byte-identically (Marshal ∘ Load is idempotent) and
+// the hglint analyzer must be a deterministic, panic-free function of
+// the loaded graph. Seed inputs additionally must lint clean: a graph
+// the lifter produced and the serializer round-tripped carries no
+// well-formedness errors.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/hglint"
+	"repro/internal/hoare"
+)
+
+func FuzzSerialRoundTripLintClean(f *testing.F) {
+	scenarios, err := corpus.AllScenarios()
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := map[string]bool{}
+	for _, s := range scenarios {
+		l := core.New(s.Image, core.DefaultConfig())
+		fr := l.LiftFuncCtx(context.Background(), s.FuncAddr, s.Name)
+		if fr.Status != core.StatusLifted || fr.Graph == nil {
+			continue
+		}
+		data := hoare.Marshal(fr.Graph)
+		seeds[string(data)] = true
+		f.Add(data)
+	}
+	if len(seeds) == 0 {
+		f.Fatal("no scenario lifted — no seeds")
+	}
+	// All graphs are loaded against one fixed image: the format carries
+	// addresses, and instruction bytes are re-fetched from the binary.
+	ret2win, err := corpus.Ret2Win()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := hoare.Load(ret2win.Image, data)
+		if err != nil {
+			return // rejected inputs are fine; crashes are not
+		}
+		out := hoare.Marshal(g)
+		g2, err := hoare.Load(ret2win.Image, out)
+		if err != nil {
+			t.Fatalf("re-load of own marshal failed: %v\n%s", err, out)
+		}
+		out2 := hoare.Marshal(g2)
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("marshal not idempotent:\n--- first\n%s\n--- second\n%s", out, out2)
+		}
+		rep, rep2 := hglint.Lint(g), hglint.Lint(g2)
+		if !bytes.Equal(rep.JSON(), rep2.JSON()) {
+			t.Fatalf("lint differs across round-trip:\n--- first\n%s\n--- second\n%s", rep.JSON(), rep2.JSON())
+		}
+		if seeds[string(data)] && rep.HasErrors() {
+			t.Fatalf("lifted seed graph must lint clean:\n%s", rep)
+		}
+	})
+}

@@ -268,6 +268,9 @@ func Load(img *image.Image, data []byte) (*Graph, error) {
 	if g == nil {
 		return nil, fmt.Errorf("hg: empty input")
 	}
+	if g.EntryID == "" {
+		return nil, fmt.Errorf("hg: no entry record")
+	}
 	return g, nil
 }
 

@@ -148,6 +148,8 @@ func (m *Metrics) Emit(e Event) {
 		m.Counter("watchdog.abandoned").Add(1)
 	case KTheorem:
 		m.Counter("theorem." + e.Status).Add(1)
+	case KLint:
+		m.Counter("lint." + e.Status).Add(1)
 	}
 }
 

@@ -46,6 +46,7 @@ const (
 	KSolver                 // sem: one solver comparison (Hit = answered from memo)
 	KObligation             // core: a proof obligation over an external call was emitted
 	KTheorem                // triple: a Step-2 theorem verdict (Status, Vertex)
+	KLint                   // hglint: a static-analysis diagnostic (Status = severity, Detail = rule: msg)
 )
 
 // kindNames renders the kinds in the JSONL trace.
@@ -62,6 +63,7 @@ var kindNames = [...]string{
 	KSolver:     "solver",
 	KObligation: "obligation",
 	KTheorem:    "theorem",
+	KLint:       "lint",
 }
 
 // String renders the kind.
@@ -254,4 +256,14 @@ func (t *Tracer) Theorem(fn, vertex string, addr uint64, verdict string) {
 		return
 	}
 	t.Emit(Event{Kind: KTheorem, Func: fn, Vertex: vertex, Addr: addr, Status: verdict})
+}
+
+// Lint marks one hglint diagnostic against the graph of fn: severity
+// rides in Status, the rule name and message in Detail.
+func (t *Tracer) Lint(fn, vertex string, addr uint64, severity, rule, msg string) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KLint, Func: fn, Vertex: vertex, Addr: addr,
+		Status: severity, Detail: rule + ": " + msg})
 }

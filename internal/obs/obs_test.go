@@ -32,6 +32,7 @@ func TestNilTracer(t *testing.T) {
 	tr.Solver(1, true)
 	tr.Obligation(1, "ob")
 	tr.Theorem("f", "v", 1, "proven")
+	tr.Lint("f", "v", 1, "error", "hg-entry", "missing")
 }
 
 // TestNewTracerDropsNilSinks checks that optional sinks can be passed
@@ -142,6 +143,8 @@ func TestMetricsAggregation(t *testing.T) {
 	tr.TaskFinish("t", "timeout", time.Second)
 	tr.Watchdog("t", time.Second)
 	tr.Theorem("f", "v", 1, "proven")
+	tr.Lint("f", "v1", 1, "error", "hg-dangling-edge", "edge to nowhere")
+	tr.Lint("f", "v2", 2, "warn", "hg-unreachable", "unreachable")
 
 	want := map[string]uint64{
 		"explore.steps":      2,
@@ -155,6 +158,8 @@ func TestMetricsAggregation(t *testing.T) {
 		"task.timeout":       1,
 		"watchdog.abandoned": 1,
 		"theorem.proven":     1,
+		"lint.error":         1,
+		"lint.warn":          1,
 	}
 	got := m.CounterSnapshot()
 	for name, v := range want {

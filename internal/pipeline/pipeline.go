@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hglint"
 	"repro/internal/hoare"
 	"repro/internal/image"
 	"repro/internal/obs"
@@ -71,6 +72,13 @@ type Options struct {
 	// memory-model event the lift emits. nil disables observation for the
 	// cost of a pointer check per event site.
 	Tracer *obs.Tracer
+	// Lint, when true, runs the hglint static analyzer over every
+	// successfully lifted graph right after its lift, through the run's
+	// shared solver cache. Reports land on each Result (and their
+	// diagnostics on the tracer as lint events); the Summary counts the
+	// error-severity findings, so schedulers and tests can fail fast on a
+	// malformed graph without paying for Step 2.
+	Lint bool
 }
 
 // Stats is the per-lift statistics record, also used for corpus totals.
@@ -114,6 +122,19 @@ type Result struct {
 	Stats  Stats
 	// PanicMsg carries the recovered panic value for StatusPanic results.
 	PanicMsg string
+	// Lint holds one hglint report per successfully lifted graph (in
+	// Funcs order for binary tasks); nil unless Options.Lint was set.
+	Lint []*hglint.Report
+}
+
+// LintErrors sums the error-severity diagnostics across the result's
+// lint reports.
+func (r *Result) LintErrors() int {
+	n := 0
+	for _, rep := range r.Lint {
+		n += rep.Errors()
+	}
+	return n
 }
 
 // Summary aggregates a Run. Results are in task order regardless of the
@@ -128,6 +149,9 @@ type Summary struct {
 	Lifted, Unprovable, Concurrency, Timeouts, Errors, Panics, Cancelled int
 	// Stats sums every lift's record (all statuses).
 	Stats Stats
+	// LintErrors sums error-severity hglint diagnostics across every
+	// result (0 unless Options.Lint was set).
+	LintErrors int
 	// Wall is the wall-clock time of the whole Run.
 	Wall time.Duration
 	// Cache is the Run's solver cache (shared or per-Run), for corpus-wide
@@ -162,6 +186,7 @@ func RunCtx(ctx context.Context, tasks []Task, opts Options) *Summary {
 	for i := range sum.Results {
 		r := &sum.Results[i]
 		sum.Stats.Add(r.Stats)
+		sum.LintErrors += r.LintErrors()
 		switch r.Status {
 		case core.StatusLifted:
 			sum.Lifted++
@@ -278,5 +303,32 @@ func lift(ctx context.Context, t Task, idx int, opts Options, tr *obs.Tracer) Re
 	}
 	res.Stats.Wall = time.Since(start)
 	res.Stats.Sem = l.Counters()
+	if opts.Lint {
+		lintResult(&res, opts.Cache, tr)
+	}
 	return res
+}
+
+// lintResult runs the static analyzer over every successfully lifted
+// graph of one result, through the run's shared solver memo cache, and
+// forwards each diagnostic to the tracer. Failed lifts stop exploring
+// mid-graph, so only StatusLifted graphs are expected to be well-formed.
+func lintResult(res *Result, cache *solver.Cache, tr *obs.Tracer) {
+	var frs []*core.FuncResult
+	switch {
+	case res.Binary != nil:
+		frs = res.Binary.Funcs
+	case res.Func != nil:
+		frs = []*core.FuncResult{res.Func}
+	}
+	for _, fr := range frs {
+		if fr.Status != core.StatusLifted || fr.Graph == nil {
+			continue
+		}
+		rep := hglint.Lint(fr.Graph, hglint.WithCache(cache))
+		res.Lint = append(res.Lint, rep)
+		for _, d := range rep.Diagnostics {
+			tr.Lint(fr.Name, d.Vertex, d.Addr, d.Severity.String(), d.Rule, d.Msg)
+		}
+	}
 }

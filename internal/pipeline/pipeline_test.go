@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/hglint"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -62,8 +64,8 @@ func TestForEach(t *testing.T) {
 // Table 1 acceptance criterion. The memo cache must see hits in both runs.
 func TestRunDeterministic(t *testing.T) {
 	tasks := smallDir(t)
-	serial := Run(tasks, Options{Jobs: 1})
-	wide := Run(tasks, Options{Jobs: 8})
+	serial := RunCtx(context.Background(), tasks, Options{Jobs: 1})
+	wide := RunCtx(context.Background(), tasks, Options{Jobs: 8})
 
 	if serial.Lifted != wide.Lifted || serial.Unprovable != wide.Unprovable ||
 		serial.Concurrency != wide.Concurrency || serial.Timeouts != wide.Timeouts ||
@@ -105,7 +107,7 @@ func TestRunSharedImageRace(t *testing.T) {
 	for i := range tasks {
 		tasks[i] = Task{Name: s.Name, Img: s.Image, Addr: s.FuncAddr}
 	}
-	sum := Run(tasks, Options{Jobs: 4})
+	sum := RunCtx(context.Background(), tasks, Options{Jobs: 4})
 	if sum.Lifted != len(tasks) {
 		t.Fatalf("lifted %d of %d: %+v", sum.Lifted, len(tasks), sum)
 	}
@@ -120,7 +122,7 @@ func TestRunCooperativeTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	tasks := []Task{{Name: s.Name, Img: s.Image, Addr: s.FuncAddr}}
-	sum := Run(tasks, Options{Jobs: 1, Timeout: time.Nanosecond})
+	sum := RunCtx(context.Background(), tasks, Options{Jobs: 1, Timeout: time.Nanosecond})
 	r := sum.Results[0]
 	if r.Status != core.StatusTimeout {
 		t.Fatalf("status = %s, want %s", r.Status, core.StatusTimeout)
@@ -149,7 +151,7 @@ func TestRunWatchdogTimeout(t *testing.T) {
 
 	tasks := []Task{{Name: s.Name, Img: s.Image, Addr: s.FuncAddr}}
 	start := time.Now()
-	sum := Run(tasks, Options{Jobs: 1, Timeout: 10 * time.Millisecond})
+	sum := RunCtx(context.Background(), tasks, Options{Jobs: 1, Timeout: 10 * time.Millisecond})
 	if got := sum.Results[0].Status; got != core.StatusTimeout {
 		t.Fatalf("status = %s, want %s", got, core.StatusTimeout)
 	}
@@ -180,7 +182,7 @@ func TestRunPanicRecovery(t *testing.T) {
 		{Name: "boom", Img: s.Image, Addr: s.FuncAddr},
 		{Name: s.Name, Img: s.Image, Addr: s.FuncAddr},
 	}
-	sum := Run(tasks, Options{Jobs: 2})
+	sum := RunCtx(context.Background(), tasks, Options{Jobs: 2})
 	if sum.Panics != 1 || sum.Lifted != 2 {
 		t.Fatalf("panics=%d lifted=%d, want 1 and 2", sum.Panics, sum.Lifted)
 	}
@@ -198,8 +200,8 @@ func TestRunPanicRecovery(t *testing.T) {
 func TestRunSharedCache(t *testing.T) {
 	tasks := smallDir(t)
 	cache := solver.NewCache()
-	first := Run(tasks, Options{Jobs: 2, Cache: cache})
-	second := Run(tasks, Options{Jobs: 2, Cache: cache})
+	first := RunCtx(context.Background(), tasks, Options{Jobs: 2, Cache: cache})
+	second := RunCtx(context.Background(), tasks, Options{Jobs: 2, Cache: cache})
 	if second.Cache != cache || first.Cache != cache {
 		t.Fatalf("Run did not adopt the provided cache")
 	}
@@ -268,4 +270,64 @@ func statuses(sum *Summary) []core.Status {
 		out[i] = r.Status
 	}
 	return out
+}
+
+// TestRunLint turns on the scheduler's hglint pass: every successfully
+// lifted graph gets a report, the corpus graphs are error-free, and the
+// diagnostics ride the tracer as lint events.
+func TestRunLint(t *testing.T) {
+	tasks := smallDir(t)
+	ring := obs.NewRing(4096)
+	sum := RunCtx(context.Background(), tasks, Options{
+		Jobs: 2, Lint: true, Tracer: obs.NewTracer(ring),
+	})
+	if sum.LintErrors != 0 {
+		for _, r := range sum.Results {
+			for _, rep := range r.Lint {
+				t.Errorf("%s:\n%s", r.Name, rep)
+			}
+		}
+		t.Fatalf("corpus graphs should be hglint-clean, got %d errors", sum.LintErrors)
+	}
+	reports := 0
+	for _, r := range sum.Results {
+		if r.Status == core.StatusLifted && len(r.Lint) == 0 {
+			t.Errorf("%s: lifted but no lint report", r.Name)
+		}
+		reports += len(r.Lint)
+	}
+	if reports == 0 {
+		t.Fatal("no lint reports at all")
+	}
+	// Error diagnostics would have been mirrored onto the tracer.
+	for _, e := range ring.Events() {
+		if e.Kind == obs.KLint && e.Status == hglint.SevError.String() {
+			t.Errorf("lint event: %s %s", e.Func, e.Detail)
+		}
+	}
+}
+
+// TestRunLintOff is the default-off contract: without Options.Lint no
+// result carries a report.
+func TestRunLintOff(t *testing.T) {
+	tasks := smallDir(t)[:2]
+	sum := RunCtx(context.Background(), tasks, Options{Jobs: 1})
+	for _, r := range sum.Results {
+		if r.Lint != nil {
+			t.Fatalf("%s: lint report without Options.Lint", r.Name)
+		}
+	}
+	if sum.LintErrors != 0 {
+		t.Fatalf("LintErrors = %d without Options.Lint", sum.LintErrors)
+	}
+}
+
+// TestDeprecatedRunWrapper keeps the compatibility shim covered: the
+// context-less entrypoint must produce the same summary as RunCtx.
+func TestDeprecatedRunWrapper(t *testing.T) {
+	tasks := smallDir(t)
+	sum := Run(tasks, Options{Jobs: 2}) //reprovet:ignore ctxless
+	if sum.Lifted == 0 {
+		t.Fatalf("wrapper lifted nothing: %+v", sum)
+	}
 }

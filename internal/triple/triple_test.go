@@ -1,6 +1,7 @@
 package triple
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -39,7 +40,7 @@ func buildAndLift(t *testing.T, build func(a *x86.Asm), rodata []byte) (*image.I
 		t.Fatal(err)
 	}
 	l := core.New(im, core.DefaultConfig())
-	return im, l.LiftFunc(textBase, "f")
+	return im, l.LiftFuncCtx(context.Background(), textBase, "f")
 }
 
 func TestCheckStraightLine(t *testing.T) {
@@ -53,7 +54,7 @@ func TestCheckStraightLine(t *testing.T) {
 	if r.Status != core.StatusLifted {
 		t.Fatalf("lift: %s %v", r.Status, r.Reasons)
 	}
-	rep := CheckGraph(im, r.Graph, sem.DefaultConfig(), 2)
+	rep := Check(context.Background(), im, r.Graph, sem.DefaultConfig(), Workers(2))
 	if !rep.AllProven() {
 		t.Fatalf("failed theorems:\n%s", dumpFailures(rep))
 	}
@@ -79,7 +80,7 @@ func TestCheckBranchesAndLoops(t *testing.T) {
 	if r.Status != core.StatusLifted {
 		t.Fatalf("lift: %s %v", r.Status, r.Reasons)
 	}
-	rep := CheckGraph(im, r.Graph, sem.DefaultConfig(), 4)
+	rep := Check(context.Background(), im, r.Graph, sem.DefaultConfig(), Workers(4))
 	if !rep.AllProven() {
 		t.Fatalf("failed theorems:\n%s", dumpFailures(rep))
 	}
@@ -113,7 +114,7 @@ func TestCheckJumpTable(t *testing.T) {
 	if r.Status != core.StatusLifted {
 		t.Fatalf("lift: %s %v", r.Status, r.Reasons)
 	}
-	rep := CheckGraph(im, r.Graph, sem.DefaultConfig(), 2)
+	rep := Check(context.Background(), im, r.Graph, sem.DefaultConfig(), Workers(2))
 	if !rep.AllProven() {
 		t.Fatalf("failed theorems:\n%s", dumpFailures(rep))
 	}
@@ -138,7 +139,7 @@ func TestCheckDetectsTampering(t *testing.T) {
 	if !tampered {
 		t.Fatal("no vertex to tamper with")
 	}
-	rep := CheckGraph(im, r.Graph, sem.DefaultConfig(), 1)
+	rep := Check(context.Background(), im, r.Graph, sem.DefaultConfig(), Workers(1))
 	if rep.AllProven() {
 		t.Fatal("tampered invariant must fail verification")
 	}
@@ -151,7 +152,7 @@ func TestCheckAnnotatedVertexAssumed(t *testing.T) {
 	if r.Status != core.StatusLifted {
 		t.Fatalf("lift: %s", r.Status)
 	}
-	rep := CheckGraph(im, r.Graph, sem.DefaultConfig(), 1)
+	rep := Check(context.Background(), im, r.Graph, sem.DefaultConfig(), Workers(1))
 	if rep.Failed != 0 {
 		t.Fatalf("annotated vertex must be assumed, not failed:\n%s", dumpFailures(rep))
 	}
@@ -259,7 +260,7 @@ func TestSerialisedGraphVerifies(t *testing.T) {
 		}
 	}
 	// The loaded graph verifies.
-	rep := CheckGraph(im, loaded, sem.DefaultConfig(), 2)
+	rep := Check(context.Background(), im, loaded, sem.DefaultConfig(), Workers(2))
 	if !rep.AllProven() {
 		t.Fatalf("loaded graph failed verification:\n%s", dumpFailures(rep))
 	}
@@ -286,7 +287,7 @@ func TestCheckGraphParallelConsistency(t *testing.T) {
 	}
 	var reports []*Report
 	for _, workers := range []int{0, 1, 4, 16} {
-		reports = append(reports, CheckGraph(im, r.Graph, sem.DefaultConfig(), workers))
+		reports = append(reports, Check(context.Background(), im, r.Graph, sem.DefaultConfig(), Workers(workers)))
 	}
 	for i := 1; i < len(reports); i++ {
 		if reports[i].Proven != reports[0].Proven ||
@@ -323,8 +324,24 @@ func TestTamperedMemoryModelFails(t *testing.T) {
 	if !tampered {
 		t.Skip("no vertex with two trees")
 	}
-	rep := CheckGraph(im, r.Graph, sem.DefaultConfig(), 1)
+	rep := Check(context.Background(), im, r.Graph, sem.DefaultConfig(), Workers(1))
 	if rep.AllProven() {
 		t.Fatal("bogus aliasing claim must fail verification")
+	}
+}
+
+// TestDeprecatedCheckGraphWrapper keeps the compatibility shim covered:
+// the context-less entrypoint must prove the same theorems as Check.
+func TestDeprecatedCheckGraphWrapper(t *testing.T) {
+	im, r := buildAndLift(t, func(a *x86.Asm) {
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.ImmOp(7, 4))
+		a.I(x86.RET)
+	}, nil)
+	if r.Status != core.StatusLifted {
+		t.Fatalf("lift: %s %v", r.Status, r.Reasons)
+	}
+	rep := CheckGraph(im, r.Graph, sem.DefaultConfig(), 2) //reprovet:ignore ctxless
+	if !rep.AllProven() {
+		t.Fatalf("failed theorems:\n%s", dumpFailures(rep))
 	}
 }

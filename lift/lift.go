@@ -144,6 +144,13 @@ func Observe(sinks ...obs.Sink) Option {
 	return func(s *settings) { s.popts.Tracer = obs.NewTracer(sinks...) }
 }
 
+// Lint runs the hglint static analyzer over every successfully lifted
+// graph, through the run's shared solver cache; reports land on each
+// Result and diagnostics on the tracer as lint events.
+func Lint() Option {
+	return func(s *settings) { s.popts.Lint = true }
+}
+
 // MaxStates bounds per-function exploration for every request without its
 // own Config.
 func MaxStates(n int) Option {

@@ -1,0 +1,72 @@
+package repro
+
+// Integration tests for the hglint static analyzer through the lift
+// facade and the Step-2 facade: lifted scenario graphs pass the analyzer,
+// lint reports ride the pipeline results, diagnostics ride the trace as
+// lint events, and the Verify* entrypoints run the precheck ahead of the
+// theorem checker.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/hglint"
+	"repro/internal/obs"
+	"repro/lift"
+)
+
+// TestFacadeLint lifts every scenario with lint enabled: each lifted
+// graph must carry an error-free report, and diagnostics (if any) must
+// appear as lint events on the trace.
+func TestFacadeLint(t *testing.T) {
+	scenarios, err := corpus.AllScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]lift.Request, 0, len(scenarios))
+	for _, s := range scenarios {
+		reqs = append(reqs, lift.Func(s.Name, s.Image, s.FuncAddr))
+	}
+	ring := obs.NewRing(1 << 16)
+	sum := lift.Run(context.Background(), reqs, lift.Jobs(2), lift.Lint(), lift.Observe(ring))
+	if sum.LintErrors != 0 {
+		for _, r := range sum.Results {
+			for _, rep := range r.Lint {
+				t.Errorf("%s:\n%s", r.Name, rep)
+			}
+		}
+		t.Fatalf("scenario graphs should be hglint-clean, got %d errors", sum.LintErrors)
+	}
+	lifted := 0
+	for _, r := range sum.Results {
+		if len(r.Lint) > 0 {
+			lifted++
+		}
+	}
+	if lifted == 0 {
+		t.Fatal("no scenario produced a lint report")
+	}
+	for _, e := range ring.Events() {
+		if e.Kind == obs.KLint && e.Status == hglint.SevError.String() {
+			t.Errorf("error-severity lint event on a lifted scenario: %s %s", e.Func, e.Detail)
+		}
+	}
+}
+
+// TestVerifyFunctionRunsPrecheck exercises the Step-2 facade end to end:
+// the lint precheck must pass on a well-formed lift and the theorems must
+// then all be proven (or assumed).
+func TestVerifyFunctionRunsPrecheck(t *testing.T) {
+	s, err := corpus.Ret2Win()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vr, err := VerifyFunction(s.Raw, s.FuncAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vr.AllProven() {
+		t.Fatalf("theorems failed: %v", vr.Failures)
+	}
+}

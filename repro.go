@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/hglint"
 	"repro/internal/hoare"
 	"repro/internal/image"
 	"repro/internal/sem"
@@ -168,7 +169,7 @@ func LiftBinary(elf []byte, opts ...Options) (*BinaryReport, error) {
 		o = opts[0]
 	}
 	l := core.New(im, o.config())
-	res := l.LiftBinary("binary")
+	res := l.LiftBinaryCtx(context.Background(), "binary")
 	rep := &BinaryReport{Status: statusOf(res.Status)}
 	rep.Stats = Stats{
 		Instructions:   res.Stats.Instructions,
@@ -201,7 +202,7 @@ func LiftFunction(elf []byte, addr uint64, opts ...Options) (*FuncReport, error)
 	if n, ok := im.SymbolName(addr); ok {
 		name = n
 	}
-	return funcReport(l.LiftFunc(addr, name)), nil
+	return funcReport(l.LiftFuncCtx(context.Background(), addr, name)), nil
 }
 
 // FuncSymbols lists the exported function symbols of an ELF image (the
@@ -248,10 +249,16 @@ func VerifyFunction(elf []byte, addr uint64, opts ...Options) (*FuncReport, *Ver
 	if n, ok := im.SymbolName(addr); ok {
 		name = n
 	}
-	fr := l.LiftFunc(addr, name)
+	fr := l.LiftFuncCtx(context.Background(), addr, name)
 	rep := funcReport(fr)
 	if fr.Status != core.StatusLifted {
 		return rep, nil, fmt.Errorf("repro: function %s not lifted: %s", name, fr.Status)
+	}
+	// Fail-fast precheck: a structurally malformed graph would only
+	// surface deep inside the theorem checker as an opaque failure.
+	if lrep := hglint.Lint(fr.Graph); lrep.HasErrors() {
+		return rep, nil, fmt.Errorf("repro: graph of %s is malformed: %d hglint errors:\n%s",
+			name, lrep.Errors(), lrep)
 	}
 	check := triple.Check(context.Background(), im, fr.Graph, sem.DefaultConfig(), triple.Workers(4))
 	vr := &VerifyReport{Proven: check.Proven, Assumed: check.Assumed, Failed: check.Failed}
@@ -275,7 +282,7 @@ func VerifyBinary(elf []byte, opts ...Options) (*VerifyReport, error) {
 		o = opts[0]
 	}
 	l := core.New(im, o.config())
-	res := l.LiftBinary("binary")
+	res := l.LiftBinaryCtx(context.Background(), "binary")
 	if res.Status != core.StatusLifted {
 		return nil, fmt.Errorf("repro: binary not lifted: %s", statusOf(res.Status))
 	}
@@ -283,6 +290,11 @@ func VerifyBinary(elf []byte, opts ...Options) (*VerifyReport, error) {
 	for _, fr := range res.Funcs {
 		if fr.Graph == nil {
 			continue
+		}
+		// Fail-fast precheck ahead of the per-vertex theorems.
+		if lrep := hglint.Lint(fr.Graph); lrep.HasErrors() {
+			return nil, fmt.Errorf("repro: graph of %s is malformed: %d hglint errors:\n%s",
+				fr.Name, lrep.Errors(), lrep)
 		}
 		check := triple.Check(context.Background(), im, fr.Graph, sem.DefaultConfig(), triple.Workers(4))
 		out.Proven += check.Proven
@@ -321,7 +333,7 @@ func ExploitCandidates(elf []byte, addr uint64) ([]Exploit, error) {
 	if n, ok := im.SymbolName(addr); ok {
 		name = n
 	}
-	fr := l.LiftFunc(addr, name)
+	fr := l.LiftFuncCtx(context.Background(), addr, name)
 	var out []Exploit
 	for _, c := range core.ExploitCandidates(fr) {
 		out = append(out, Exploit{
@@ -344,7 +356,7 @@ func Disasm(elf []byte, addr uint64) ([]string, error) {
 		return nil, err
 	}
 	l := core.New(im, core.DefaultConfig())
-	fr := l.LiftFunc(addr, "f")
+	fr := l.LiftFuncCtx(context.Background(), addr, "f")
 	if fr.Graph == nil {
 		return nil, fmt.Errorf("repro: no graph")
 	}

@@ -17,6 +17,12 @@ fi
 go build ./...
 go vet ./...
 
+# Custom vet passes (ctxless, obsnil) via the repo's own vettool.
+vettool=$(mktemp -d)
+trap 'rm -rf "$vettool"' EXIT
+go build -o "$vettool/reprovet" ./cmd/reprovet
+go vet -vettool="$vettool/reprovet" ./...
+
 if [ "${1:-}" = "-full" ]; then
     go test ./...
     go test -race ./...
