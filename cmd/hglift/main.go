@@ -17,6 +17,17 @@
 // binary. The detail flags (-func, -dump, -thy, -disasm, -o, -dot) apply to
 // the single-binary form only.
 //
+// The exit status is non-zero when any lift panicked, timed out, errored,
+// was cancelled or was quarantined (and, in batch mode, when any binary
+// failed to lift); -keep-going reports the trouble but exits 0 anyway.
+// Retry and checkpoint flags make long batches survivable:
+//
+//	-retries N         attempts per lift (retries panicked/timed-out lifts)
+//	-retry-backoff d   delay before the first retry (doubles per retry)
+//	-checkpoint f      batch mode: journal completed lifts to f
+//	-resume            restore completed lifts from -checkpoint instead of
+//	                   truncating it; only the remainder is lifted
+//
 // Observability flags apply to every form:
 //
 //	-trace out.jsonl   write every lift/solver/memory-model event as JSONL
@@ -31,8 +42,10 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -96,12 +109,21 @@ func main() {
 	dotOut := flag.String("dot", "", "write a Graphviz rendering to this file (requires -func)")
 	jobs := flag.Int("jobs", 0, "batch mode: parallel lift workers (0 = all CPUs)")
 	timeout := flag.Duration("timeout", 0, "per-lift wall-clock budget (0 = none)")
+	retries := flag.Int("retries", 1, "attempts per lift (>1 retries panicked/timed-out lifts)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "delay before the first retry (doubles per retry)")
+	ckptPath := flag.String("checkpoint", "", "batch mode: journal completed lifts to this file")
+	resume := flag.Bool("resume", false, "restore completed lifts from -checkpoint instead of truncating")
+	keepGoing := flag.Bool("keep-going", false, "exit 0 even when lifts panicked, timed out, errored or were quarantined")
 	traceOut := flag.String("trace", "", "write a JSONL event trace to this file")
 	showMetrics := flag.Bool("metrics", false, "print the aggregated metrics registry on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: hglift [-func addr|name] [-dump] [-thy] [-disasm] [-jobs N] [-timeout d] [-trace f] [-metrics] [-pprof addr] binary.elf ...")
+		fmt.Fprintln(os.Stderr, "usage: hglift [-func addr|name] [-dump] [-thy] [-disasm] [-jobs N] [-timeout d] [-retries N] [-checkpoint f [-resume]] [-keep-going] [-trace f] [-metrics] [-pprof addr] binary.elf ...")
+		os.Exit(2)
+	}
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "hglift: -resume requires -checkpoint")
 		os.Exit(2)
 	}
 	if *pprofAddr != "" {
@@ -111,16 +133,25 @@ func main() {
 			}
 		}()
 	}
-	ctx := context.Background()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	obsv := newObserver(*traceOut, *showMetrics)
+	retry := lift.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff}
 
 	if flag.NArg() > 1 {
 		if *funcSpec != "" || *dump || *thy || *disasm || *hgOut != "" || *dotOut != "" {
 			fmt.Fprintln(os.Stderr, "hglift: detail flags apply to a single binary only")
 			os.Exit(2)
 		}
-		liftBatch(ctx, flag.Args(), *jobs, *timeout, obsv)
+		liftBatch(ctx, flag.Args(), batchConfig{
+			jobs: *jobs, timeout: *timeout, retry: retry,
+			ckptPath: *ckptPath, resume: *resume, keepGoing: *keepGoing,
+		}, obsv)
 		return
+	}
+	if *ckptPath != "" {
+		fmt.Fprintln(os.Stderr, "hglift: -checkpoint applies to batch mode only")
+		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -130,7 +161,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := append([]lift.Option{lift.Jobs(1), lift.Timeout(*timeout)}, obsv.opts...)
+	opts := append([]lift.Option{lift.Jobs(1), lift.Timeout(*timeout), lift.Retry(retry)}, obsv.opts...)
 
 	if *funcSpec == "" {
 		res := lift.One(ctx, lift.Binary(flag.Arg(0), im), opts...)
@@ -149,6 +180,7 @@ func main() {
 			printDetails(fr, *dump, *thy)
 		}
 		obsv.flush()
+		exitUnhealthy(res.Status, *keepGoing)
 		return
 	}
 
@@ -186,11 +218,37 @@ func main() {
 		}
 	}
 	obsv.flush()
+	exitUnhealthy(res.Status, *keepGoing)
+}
+
+// exitUnhealthy terminates with a non-zero status when a single lift
+// ended in an infrastructure failure (panic, timeout, error,
+// cancellation); -keep-going reports it but keeps the zero status.
+func exitUnhealthy(status core.Status, keepGoing bool) {
+	switch status {
+	case core.StatusPanic, core.StatusTimeout, core.StatusError, core.StatusCancelled:
+		fmt.Fprintf(os.Stderr, "hglift: lift ended in %s\n", status)
+		if !keepGoing {
+			os.Exit(1)
+		}
+	}
+}
+
+// batchConfig carries the robustness tuning of one batch run.
+type batchConfig struct {
+	jobs      int
+	timeout   time.Duration
+	retry     lift.RetryPolicy
+	ckptPath  string
+	resume    bool
+	keepGoing bool
 }
 
 // liftBatch lifts every named binary from its entry point through the
-// facade and prints a one-line summary per binary plus corpus totals.
-func liftBatch(ctx context.Context, paths []string, jobs int, timeout time.Duration, obsv *observer) {
+// facade and prints a one-line summary per binary plus corpus totals. The
+// exit status is decided after the trace and metrics flush, so even an
+// unhealthy (or interrupted) batch keeps its observability output.
+func liftBatch(ctx context.Context, paths []string, cfg batchConfig, obsv *observer) {
 	reqs := make([]lift.Request, 0, len(paths))
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
@@ -203,13 +261,37 @@ func liftBatch(ctx context.Context, paths []string, jobs int, timeout time.Durat
 		}
 		reqs = append(reqs, lift.Binary(path, im))
 	}
-	opts := append([]lift.Option{lift.Jobs(jobs), lift.Timeout(timeout)}, obsv.opts...)
+	var ckpt *lift.Checkpoint
+	if cfg.ckptPath != "" {
+		var err error
+		if cfg.resume {
+			ckpt, err = lift.ResumeCheckpoint(cfg.ckptPath)
+		} else {
+			ckpt, err = lift.NewCheckpoint(cfg.ckptPath)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if n := ckpt.Skipped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "hglift: checkpoint: dropped %d unparseable journal lines\n", n)
+		}
+	}
+	opts := append([]lift.Option{
+		lift.Jobs(cfg.jobs), lift.Timeout(cfg.timeout),
+		lift.Retry(cfg.retry), lift.WithCheckpoint(ckpt),
+	}, obsv.opts...)
 	sum := lift.Run(ctx, reqs, opts...)
 	for _, r := range sum.Results {
-		fmt.Printf("%-32s %-12s instrs=%-6d states=%-6d A=%-3d B=%-3d C=%-3d %8s\n",
+		note := ""
+		if r.Restored {
+			note = " (restored)"
+		} else if r.Quarantined {
+			note = fmt.Sprintf(" (quarantined after %d attempts)", r.Attempts)
+		}
+		fmt.Printf("%-32s %-12s instrs=%-6d states=%-6d A=%-3d B=%-3d C=%-3d %8s%s\n",
 			r.Name, r.Status, r.Stats.Graph.Instructions, r.Stats.Graph.States,
 			r.Stats.Graph.ResolvedInd, r.Stats.Graph.UnresolvedJump,
-			r.Stats.Graph.UnresolvedCall, r.Stats.Wall.Round(time.Millisecond))
+			r.Stats.Graph.UnresolvedCall, r.Stats.Wall.Round(time.Millisecond), note)
 		if r.PanicMsg != "" {
 			fmt.Printf("  panic: %s\n", r.PanicMsg)
 		}
@@ -218,9 +300,27 @@ func liftBatch(ctx context.Context, paths []string, jobs int, timeout time.Durat
 	fmt.Printf("%d lifted, %d unprovable, %d concurrency, %d timeout, %d error, %d panic in %s; solver memo %.0f%% of %d queries\n",
 		sum.Lifted, sum.Unprovable, sum.Concurrency, sum.Timeouts, sum.Errors, sum.Panics,
 		sum.Wall.Round(time.Millisecond), 100*cs.HitRate(), cs.Queries)
+	if sum.Retried > 0 || sum.Quarantined > 0 || sum.Restored > 0 {
+		fmt.Printf("%d retried, %d quarantined, %d restored from checkpoint\n",
+			sum.Retried, sum.Quarantined, sum.Restored)
+	}
 	obsv.flush()
-	if sum.Lifted != len(sum.Results) {
-		os.Exit(1)
+	code := 0
+	if err := ckpt.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "hglift: checkpoint:", err)
+		code = 1
+	}
+	if sum.Lifted < len(sum.Results) || sum.Quarantined > 0 || sum.LintErrors > 0 {
+		if sum.Lifted < len(sum.Results) {
+			fmt.Fprintf(os.Stderr, "hglift: %d of %d binaries did not lift\n",
+				len(sum.Results)-sum.Lifted, len(sum.Results))
+		}
+		if !cfg.keepGoing {
+			code = 1
+		}
+	}
+	if code != 0 {
+		os.Exit(code)
 	}
 }
 

@@ -17,6 +17,30 @@
 // workers share one solver memo cache, and the tables report its per-row
 // hit-rate ("Hit%") next to the per-directory wall time.
 //
+// Robustness flags make long sweeps survivable:
+//
+//	-timeout d         per-lift wall-clock budget (0 = none)
+//	-retries N         attempts per lift (retries panicked/timed-out lifts)
+//	-retry-backoff d   delay before the first retry (doubles per retry)
+//	-checkpoint f      journal completed lifts to f (crash-safe, atomic)
+//	-resume            restore completed lifts from -checkpoint instead of
+//	                   truncating it; only the remainder is lifted
+//	-keep-going        exit 0 even when lifts panicked, timed out, errored,
+//	                   were cancelled or were quarantined
+//
+// The run stops cleanly on SIGINT/SIGTERM: in-flight lifts report
+// cancelled, the trace and metrics still flush, and the exit status is
+// non-zero (unless -keep-going). Checkpointing covers the lift sweeps
+// (-table1, -fig3); Step 2 re-checks graphs in memory and is not
+// journalled.
+//
+// The -fault-* flags drive the deterministic fault injector (CI's
+// fault-injection smoke job; never needed in normal runs):
+//
+//	-fault-seed N     decision seed
+//	-fault-panic p    probability a lift attempt panics
+//	-fault-stall p    probability a lift attempt stalls until the watchdog
+//
 // -trace out.jsonl writes every lift/solver/memory-model event of the run
 // as JSONL; -metrics prints the aggregated metrics registry after the last
 // table.
@@ -27,12 +51,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/faultinject"
 	"repro/internal/hoare"
 	"repro/internal/obs"
 	"repro/internal/sem"
@@ -41,6 +68,50 @@ import (
 	"repro/internal/x86"
 	"repro/lift"
 )
+
+// runner carries the per-run tuning shared by every sweep plus the health
+// counters that decide the exit status.
+type runner struct {
+	jobs    int
+	timeout time.Duration
+	retry   lift.RetryPolicy
+	ckpt    *lift.Checkpoint
+	faults  *faultinject.Injector
+	tr      *obs.Tracer
+
+	panics, timeouts, errors, cancelled, quarantined int
+}
+
+// opts assembles the facade options for one sweep; scope namespaces the
+// checkpoint journal so equal task names across sweeps do not collide.
+func (rn *runner) opts(scope string) []lift.Option {
+	opts := []lift.Option{
+		lift.Jobs(rn.jobs), lift.Timeout(rn.timeout),
+		lift.Tracer(rn.tr), lift.Retry(rn.retry), lift.Faults(rn.faults),
+	}
+	if rn.ckpt != nil {
+		opts = append(opts, lift.WithCheckpoint(rn.ckpt.Scoped(scope)))
+	}
+	return opts
+}
+
+// absorb folds one Summary's infrastructure outcomes into the health
+// counters. Unprovable and concurrency results are analysis outcomes, not
+// failures — Table 1 reports them as its x and y columns.
+func (rn *runner) absorb(sum *lift.Summary) {
+	rn.panics += sum.Panics
+	rn.timeouts += sum.Timeouts
+	rn.errors += sum.Errors
+	rn.cancelled += sum.Cancelled
+	rn.quarantined += sum.Quarantined
+}
+
+// healthy reports whether every lift completed without infrastructure
+// trouble.
+func (rn *runner) healthy() bool {
+	return rn.panics == 0 && rn.timeouts == 0 && rn.errors == 0 &&
+		rn.cancelled == 0 && rn.quarantined == 0
+}
 
 func main() {
 	table1 := flag.Bool("table1", false, "regenerate Table 1")
@@ -52,6 +123,15 @@ func main() {
 	scale := flag.Float64("scale", 0.15, "Table 1 corpus scale (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "corpus generation seed")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel lift workers (1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-lift wall-clock budget (0 = none)")
+	retries := flag.Int("retries", 1, "attempts per lift (>1 retries panicked/timed-out lifts)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "delay before the first retry (doubles per retry)")
+	ckptPath := flag.String("checkpoint", "", "journal completed lifts to this file")
+	resume := flag.Bool("resume", false, "restore completed lifts from -checkpoint instead of truncating")
+	keepGoing := flag.Bool("keep-going", false, "exit 0 even when lifts panicked, timed out, errored or were quarantined")
+	faultSeed := flag.Int64("fault-seed", 0, "fault injector decision seed (CI smoke)")
+	faultPanic := flag.Float64("fault-panic", 0, "probability a lift attempt panics (CI smoke)")
+	faultStall := flag.Float64("fault-stall", 0, "probability a lift attempt stalls until the watchdog (CI smoke)")
 	traceOut := flag.String("trace", "", "write a JSONL event trace to this file")
 	showMetrics := flag.Bool("metrics", false, "print the aggregated metrics registry on exit")
 	flag.Parse()
@@ -66,7 +146,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	ctx := context.Background()
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "xenbench: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var sinks []obs.Sink
 	var jsonl *obs.JSONL
 	var traceFile *os.File
@@ -84,33 +170,79 @@ func main() {
 		metrics = obs.NewMetrics()
 		sinks = append(sinks, metrics)
 	}
-	// tr is nil when no sink is selected: every emission site reduces to
-	// one pointer check.
-	tr := obs.NewTracer(sinks...)
+	rn := &runner{
+		jobs:    *jobs,
+		timeout: *timeout,
+		retry:   lift.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff},
+		// tr is nil when no sink is selected: every emission site reduces
+		// to one pointer check.
+		tr: obs.NewTracer(sinks...),
+	}
+	if *faultPanic > 0 || *faultStall > 0 {
+		rn.faults = faultinject.New(faultinject.Config{
+			Seed: *faultSeed, PanicRate: *faultPanic, StallRate: *faultStall,
+		})
+	}
+	if *ckptPath != "" {
+		var err error
+		if *resume {
+			rn.ckpt, err = lift.ResumeCheckpoint(*ckptPath)
+		} else {
+			rn.ckpt, err = lift.NewCheckpoint(*ckptPath)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if n := rn.ckpt.Skipped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "xenbench: checkpoint: dropped %d unparseable journal lines\n", n)
+		}
+		if n := rn.ckpt.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "xenbench: checkpoint: restoring %d completed lifts\n", n)
+		}
+	}
+
 	if *table1 {
-		runTable1(ctx, *scale, *seed, *jobs, tr)
+		runTable1(ctx, *scale, *seed, rn)
 	}
 	if *table2 {
-		runTable2(ctx, *jobs, tr)
+		runTable2(ctx, rn)
 	}
 	if *fig3 {
-		runFig3(ctx, *scale, *seed, *jobs, tr)
+		runFig3(ctx, *scale, *seed, rn)
 	}
 	if *weird {
-		runWeird(ctx, tr)
+		runWeird(ctx, rn.tr)
 	}
 	if *failures {
-		runFailures(ctx, tr)
+		runFailures(ctx, rn.tr)
 	}
+
+	// One exit point: the trace and metrics flush on every path —
+	// including a SIGINT-cancelled run — before the status is decided.
+	code := 0
 	if jsonl != nil {
 		if err := jsonl.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, "xenbench: trace:", err)
+			code = 1
 		}
 		traceFile.Close()
 	}
 	if metrics != nil {
 		fmt.Print(metrics.Dump())
 	}
+	if err := rn.ckpt.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "xenbench: checkpoint:", err)
+		code = 1
+	}
+	if !rn.healthy() {
+		fmt.Fprintf(os.Stderr,
+			"xenbench: unhealthy run: %d panics, %d timeouts, %d errors, %d cancelled, %d quarantined\n",
+			rn.panics, rn.timeouts, rn.errors, rn.cancelled, rn.quarantined)
+		if !*keepGoing {
+			code = 1
+		}
+	}
+	os.Exit(code)
 }
 
 // dirResult accumulates one Table 1 row.
@@ -138,14 +270,15 @@ func (r *dirResult) hitRate() string {
 }
 
 // liftDirectory generates one Table 1 directory and lifts every unit
-// through the pipeline.
-func liftDirectory(ctx context.Context, shape corpus.DirShape, seed int64, jobs int, cache *solver.Cache, tr *obs.Tracer) (*dirResult, error) {
+// through the pipeline; scope namespaces the checkpoint journal.
+func liftDirectory(ctx context.Context, shape corpus.DirShape, seed int64, scope string, cache *solver.Cache, rn *runner) (*dirResult, error) {
 	dir, err := corpus.BuildDirectory(shape, seed)
 	if err != nil {
 		return nil, err
 	}
-	sum := lift.Run(ctx, lift.UnitRequests(dir.Units),
-		lift.Jobs(jobs), lift.Cache(cache), lift.Tracer(tr))
+	opts := append(rn.opts(scope), lift.Cache(cache))
+	sum := lift.Run(ctx, lift.UnitRequests(dir.Units), opts...)
+	rn.absorb(sum)
 	res := &dirResult{name: shape.Name, kind: shape.Kind, elapsed: sum.Wall}
 	for _, r := range sum.Results {
 		res.queries += r.Stats.Sem.SolverQueries
@@ -166,14 +299,14 @@ func liftDirectory(ctx context.Context, shape corpus.DirShape, seed int64, jobs 
 	return res, nil
 }
 
-func runTable1(ctx context.Context, scale float64, seed int64, jobs int, tr *obs.Tracer) {
-	fmt.Printf("Table 1: Xen-shaped case study (scale %.2f, %d jobs)\n", scale, jobs)
+func runTable1(ctx context.Context, scale float64, seed int64, rn *runner) {
+	fmt.Printf("Table 1: Xen-shaped case study (scale %.2f, %d jobs)\n", scale, rn.jobs)
 	fmt.Printf("%-16s %-22s %9s %9s %6s %5s %5s %6s %10s\n",
 		"Directory", "w+x+y+z", "Instrs", "States", "A", "B", "C", "Hit%", "Time")
 	cache := solver.NewCache()
 	var totals [2]dirResult
 	for _, shape := range corpus.XenSuite(scale) {
-		res, err := liftDirectory(ctx, shape, seed, jobs, cache, tr)
+		res, err := liftDirectory(ctx, shape, seed, "table1/"+shape.Name, cache, rn)
 		if err != nil {
 			fatal(err)
 		}
@@ -212,10 +345,10 @@ func printRow(r *dirResult) {
 		r.hitRate(), r.elapsed.Round(time.Millisecond))
 }
 
-func runTable2(ctx context.Context, jobs int, tr *obs.Tracer) {
-	fmt.Printf("Table 2: CoreUtils-shaped binaries exported and proven (Step 2, %d jobs)\n", jobs)
-	fmt.Printf("%-10s %13s %14s %10s %10s %8s\n",
-		"Binary", "#Instructions", "#Indirections", "Proven", "Assumed", "Failed")
+func runTable2(ctx context.Context, rn *runner) {
+	fmt.Printf("Table 2: CoreUtils-shaped binaries exported and proven (Step 2, %d jobs)\n", rn.jobs)
+	fmt.Printf("%-10s %13s %14s %10s %10s %8s %8s\n",
+		"Binary", "#Instructions", "#Indirections", "Proven", "Assumed", "Failed", "Skipped")
 	units, err := corpus.CoreUtilsSuite(1.0)
 	if err != nil {
 		fatal(err)
@@ -224,37 +357,45 @@ func runTable2(ctx context.Context, jobs int, tr *obs.Tracer) {
 	for _, u := range units {
 		reqs = append(reqs, lift.Binary(u.Name, u.Image))
 	}
-	sum := lift.Run(ctx, reqs, lift.Jobs(jobs), lift.Tracer(tr))
-	var sumI, sumInd, sumP, sumA, sumF int
+	// Step 2 re-checks graphs in memory, so Table 2 lifts without a
+	// checkpoint (a restored result carries no graph to check).
+	sum := lift.Run(ctx, reqs,
+		lift.Jobs(rn.jobs), lift.Timeout(rn.timeout),
+		lift.Tracer(rn.tr), lift.Retry(rn.retry), lift.Faults(rn.faults))
+	rn.absorb(sum)
+	var sumI, sumInd, sumP, sumA, sumF, sumS int
 	for i, r := range sum.Results {
 		if r.Status != core.StatusLifted || r.Binary == nil {
 			fmt.Printf("%-10s NOT LIFTED: %s\n", r.Name, r.Status)
 			continue
 		}
-		var proven, assumed, failed int
+		var proven, assumed, failed, skipped int
 		for _, fr := range r.Binary.Funcs {
 			rep := triple.Check(ctx, units[i].Image, fr.Graph, sem.DefaultConfig(),
-				triple.Workers(jobs), triple.WithTracer(tr))
+				triple.Workers(rn.jobs), triple.WithTracer(rn.tr))
 			proven += rep.Proven
 			assumed += rep.Assumed
 			failed += rep.Failed
+			skipped += rep.Skipped
 		}
-		fmt.Printf("%-10s %13d %14d %10d %10d %8d\n",
-			r.Name, r.Stats.Graph.Instructions, r.Stats.Graph.ResolvedInd, proven, assumed, failed)
+		fmt.Printf("%-10s %13d %14d %10d %10d %8d %8d\n",
+			r.Name, r.Stats.Graph.Instructions, r.Stats.Graph.ResolvedInd,
+			proven, assumed, failed, skipped)
 		sumI += r.Stats.Graph.Instructions
 		sumInd += r.Stats.Graph.ResolvedInd
 		sumP += proven
 		sumA += assumed
 		sumF += failed
+		sumS += skipped
 	}
-	fmt.Printf("%-10s %13d %14d %10d %10d %8d\n", "Total", sumI, sumInd, sumP, sumA, sumF)
+	fmt.Printf("%-10s %13d %14d %10d %10d %8d %8d\n", "Total", sumI, sumInd, sumP, sumA, sumF, sumS)
 	cs := sum.Cache.Stats()
 	fmt.Printf("lift wall time %s; solver memo %.0f%% of %d queries\n",
 		sum.Wall.Round(time.Millisecond), 100*cs.HitRate(), cs.Queries)
 	fmt.Println()
 }
 
-func runFig3(ctx context.Context, scale float64, seed int64, jobs int, tr *obs.Tracer) {
+func runFig3(ctx context.Context, scale float64, seed int64, rn *runner) {
 	fmt.Println("Figure 3: verification time vs instruction count")
 	// A dedicated sweep across function sizes: 10 functions per size
 	// class, scaled by -scale.
@@ -269,7 +410,8 @@ func runFig3(ctx context.Context, scale float64, seed int64, jobs int, tr *obs.T
 			Name: "fig3", Kind: corpus.KindLibFunc, Lifted: perClass,
 			MinStmts: stmts, MaxStmts: stmts, Helpers: 1,
 		}
-		r, err := liftDirectory(ctx, shape, seed+int64(stmts), jobs, cache, tr)
+		scope := fmt.Sprintf("fig3/%d", stmts)
+		r, err := liftDirectory(ctx, shape, seed+int64(stmts), scope, cache, rn)
 		if err != nil {
 			fatal(err)
 		}

@@ -150,6 +150,12 @@ func (m *Metrics) Emit(e Event) {
 		m.Counter("theorem." + e.Status).Add(1)
 	case KLint:
 		m.Counter("lint." + e.Status).Add(1)
+	case KRetry:
+		m.Counter("task.retries").Add(1)
+	case KQuarantine:
+		m.Counter("task.quarantined").Add(1)
+	case KCheckpoint:
+		m.Counter("checkpoint." + e.Status).Add(1)
 	}
 }
 

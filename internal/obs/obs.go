@@ -47,6 +47,9 @@ const (
 	KObligation             // core: a proof obligation over an external call was emitted
 	KTheorem                // triple: a Step-2 theorem verdict (Status, Vertex)
 	KLint                   // hglint: a static-analysis diagnostic (Status = severity, Detail = rule: msg)
+	KRetry                  // pipeline: a failed lift attempt was re-scheduled (Status = attempt's outcome, N = attempt)
+	KQuarantine             // pipeline: a task exhausted its retry budget (Status = final outcome, N = attempts)
+	KCheckpoint             // pipeline: checkpoint activity (Status = skip | write-error, Detail = context)
 )
 
 // kindNames renders the kinds in the JSONL trace.
@@ -64,6 +67,9 @@ var kindNames = [...]string{
 	KObligation: "obligation",
 	KTheorem:    "theorem",
 	KLint:       "lint",
+	KRetry:      "retry",
+	KQuarantine: "quarantine",
+	KCheckpoint: "checkpoint",
 }
 
 // String renders the kind.
@@ -256,6 +262,46 @@ func (t *Tracer) Theorem(fn, vertex string, addr uint64, verdict string) {
 		return
 	}
 	t.Emit(Event{Kind: KTheorem, Func: fn, Vertex: vertex, Addr: addr, Status: verdict})
+}
+
+// Retry marks the scheduler re-scheduling a lift whose attempt (0-based)
+// ended in the retryable status; backoff is the delay before the next
+// attempt.
+func (t *Tracer) Retry(name, status string, attempt int, backoff time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KRetry, Func: name, Status: status, N: uint64(attempt), Wall: backoff})
+}
+
+// Quarantine marks a task that exhausted its retry budget: attempts is the
+// total number consumed, status the final attempt's outcome.
+func (t *Tracer) Quarantine(name, status string, attempts int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KQuarantine, Func: name, Status: status, N: uint64(attempts),
+		Detail: "task quarantined: retry budget exhausted"})
+}
+
+// CheckpointSkip marks a task restored from the checkpoint journal instead
+// of being lifted.
+func (t *Tracer) CheckpointSkip(name string) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KCheckpoint, Func: name, Status: "skip",
+		Detail: "restored from checkpoint journal"})
+}
+
+// CheckpointError marks a failed checkpoint append; the run keeps going
+// (the record is retried on the next append), so this is a warning, not a
+// failure.
+func (t *Tracer) CheckpointError(name string, err error) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KCheckpoint, Func: name, Status: "write-error", Detail: err.Error()})
 }
 
 // Lint marks one hglint diagnostic against the graph of fn: severity

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"sync"
@@ -29,15 +30,25 @@ type jsonEvent struct {
 // out.jsonl` format of hglift and xenbench. Lines from concurrent lift
 // workers interleave, so consumers must group by the "lift" label rather
 // than assume contiguity; within one lift the order is the emission order.
+//
+// Emission is buffered (a corpus run emits millions of step and solver
+// events; a write syscall per event would dominate the trace cost), so the
+// tail of the trace lives in memory until Flush. Err and Flush both drain
+// the buffer: every exit path of the batch commands — including a run
+// cancelled mid-corpus by SIGINT — checks Err before closing the file, so
+// a cancelled run keeps its tail.
 type JSONL struct {
 	mu  sync.Mutex
+	w   *bufio.Writer
 	enc *json.Encoder
 	err error
 }
 
-// NewJSONL returns a sink encoding onto w.
+// NewJSONL returns a sink encoding onto w through an internal buffer;
+// call Flush (or Err, which flushes too) before reading what was written.
 func NewJSONL(w io.Writer) *JSONL {
-	return &JSONL{enc: json.NewEncoder(w)}
+	bw := bufio.NewWriterSize(w, 64<<10)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw)}
 }
 
 // Emit encodes the event as one line. The first encoding error is kept
@@ -55,11 +66,28 @@ func (j *JSONL) Emit(e Event) {
 	})
 }
 
-// Err returns the first encoding error, if any.
+// Flush drains buffered events to the underlying writer and returns the
+// first error seen (encoding or flushing).
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushLocked()
+}
+
+func (j *JSONL) flushLocked() error {
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Err flushes buffered events and returns the first error, if any. Exit
+// paths may therefore call Err alone; a nil return guarantees the full
+// trace reached the writer.
 func (j *JSONL) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.err
+	return j.flushLocked()
 }
 
 // Ring is a bounded in-memory sink holding the most recent events — the

@@ -1,0 +1,366 @@
+// Checkpoint/resume for corpus runs. Every completed lift is an
+// independent theorem, so a corpus run is a set of per-unit outcomes with
+// no cross-unit state beyond the (semantics-free) solver memo cache — a
+// crashed run loses nothing but the units it had not finished. The
+// Checkpoint journal makes that concrete: an append-only JSONL file of
+// completed Results, rewritten atomically (tmp + rename) on every append,
+// so the on-disk journal is a valid prefix of the run at every instant and
+// a kill at any point leaves either the old or the new journal, never a
+// torn one. Resuming a run restores journalled results by task name and
+// lifts only the remainder; the merged Summary is byte-identical (in its
+// Canonical rendering) to an uninterrupted run's.
+package pipeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/hoare"
+	"repro/internal/sem"
+)
+
+// journalRecord is the JSONL wire form of one completed Result. Statuses
+// are stored as their table-legend strings so journals stay readable and
+// stable across enum reorderings.
+type journalRecord struct {
+	Scope       string      `json:"scope,omitempty"`
+	Name        string      `json:"name"`
+	Status      string      `json:"status"`
+	PanicMsg    string      `json:"panic,omitempty"`
+	Attempts    int         `json:"attempts,omitempty"`
+	Quarantined bool        `json:"quarantined,omitempty"`
+	LintErrors  int         `json:"lint_errors,omitempty"`
+	Stats       statsRecord `json:"stats"`
+	RetryStats  statsRecord `json:"retry_stats,omitempty"`
+}
+
+// statsRecord serialises a Stats (graph statistics, machine counters and
+// wall time) with explicit keys.
+type statsRecord struct {
+	Graph  hoare.Stats  `json:"graph"`
+	Sem    sem.Counters `json:"sem"`
+	WallNS int64        `json:"wall_ns"`
+}
+
+func toStatsRecord(s Stats) statsRecord {
+	return statsRecord{Graph: s.Graph, Sem: s.Sem, WallNS: int64(s.Wall)}
+}
+
+func (sr statsRecord) stats() Stats {
+	return Stats{Graph: sr.Graph, Sem: sr.Sem, Wall: time.Duration(sr.WallNS)}
+}
+
+// statusFromString inverts core.Status.String for journal loading.
+func statusFromString(s string) (core.Status, bool) {
+	for _, st := range []core.Status{
+		core.StatusLifted, core.StatusUnprovableRet, core.StatusConcurrency,
+		core.StatusTimeout, core.StatusError, core.StatusPanic, core.StatusCancelled,
+	} {
+		if st.String() == s {
+			return st, true
+		}
+	}
+	return 0, false
+}
+
+// Checkpoint is a crash-safe journal of completed pipeline Results.
+// Concurrent workers append through one mutex; each append rewrites the
+// whole journal to <path>.tmp and renames it over <path>, so readers (and
+// a resuming run) always see a complete, parseable file. An append that
+// fails to persist keeps its record in memory and is retried by the next
+// append — the journal on disk is always a prefix of the completed work.
+//
+// A Checkpoint may be shared by several Runs (a Table 1 sweep runs one
+// per directory); Scoped gives each run a namespace so equal task names
+// in different runs do not collide.
+type Checkpoint struct {
+	mu      sync.Mutex
+	path    string
+	scope   string // set on scoped views; "" on the root
+	root    *Checkpoint
+	records []journalRecord
+	byKey   map[string]int
+	skipped int
+	wErr    error
+	faults  *faultinject.Injector
+}
+
+// CreateCheckpoint starts a fresh journal at path, truncating any
+// existing one (the non-resume form of the batch commands).
+func CreateCheckpoint(path string) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, byKey: map[string]int{}}
+	if err := c.flushLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ResumeCheckpoint loads the journal at path, tolerating a missing file
+// (an interrupted run may have died before its first append) and a
+// truncated or corrupt tail (a crash mid-write of a non-atomic copy):
+// loading stops at the first unparseable line and Skipped reports how
+// many lines were dropped.
+func ResumeCheckpoint(path string) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, byKey: map[string]int{}}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			c.skipped++
+			break
+		}
+		if _, ok := statusFromString(rec.Status); !ok {
+			c.skipped++
+			break
+		}
+		c.addLocked(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Scoped returns a view of the journal whose lookups and appends are
+// namespaced under the given scope. Views share the parent's file,
+// records and lock.
+func (c *Checkpoint) Scoped(scope string) *Checkpoint {
+	if c == nil {
+		return nil
+	}
+	root := c.rootCheckpoint()
+	return &Checkpoint{scope: scope, root: root}
+}
+
+func (c *Checkpoint) rootCheckpoint() *Checkpoint {
+	if c.root != nil {
+		return c.root
+	}
+	return c
+}
+
+// SetFaults installs a fault injector whose CheckpointWriteErr decisions
+// are consulted on every append (tests and the CI smoke job).
+func (c *Checkpoint) SetFaults(inj *faultinject.Injector) {
+	if c == nil {
+		return
+	}
+	root := c.rootCheckpoint()
+	root.mu.Lock()
+	root.faults = inj
+	root.mu.Unlock()
+}
+
+// Skipped reports how many journal lines were dropped as unparseable
+// during ResumeCheckpoint.
+func (c *Checkpoint) Skipped() int {
+	if c == nil {
+		return 0
+	}
+	root := c.rootCheckpoint()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	return root.skipped
+}
+
+// Len reports how many results the journal holds.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	root := c.rootCheckpoint()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	return len(root.records)
+}
+
+// Err returns the first append error, if any. Append failures do not fail
+// the run (the record is retried on the next append), so batch commands
+// surface this at exit.
+func (c *Checkpoint) Err() error {
+	if c == nil {
+		return nil
+	}
+	root := c.rootCheckpoint()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	return root.wErr
+}
+
+func key(scope, name string) string { return scope + "\x00" + name }
+
+func (c *Checkpoint) addLocked(rec journalRecord) {
+	k := key(rec.Scope, rec.Name)
+	if i, ok := c.byKey[k]; ok {
+		c.records[i] = rec
+		return
+	}
+	c.byKey[k] = len(c.records)
+	c.records = append(c.records, rec)
+}
+
+// Lookup restores the journalled result for the named task, if present.
+// Restored results carry the recorded status, statistics and retry
+// accounting, but no graphs or lint reports.
+func (c *Checkpoint) Lookup(name string) (Result, bool) {
+	if c == nil {
+		return Result{}, false
+	}
+	root := c.rootCheckpoint()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	i, ok := root.byKey[key(c.scope, name)]
+	if !ok {
+		return Result{}, false
+	}
+	rec := root.records[i]
+	status, ok := statusFromString(rec.Status)
+	if !ok {
+		return Result{}, false
+	}
+	return Result{
+		Name:              rec.Name,
+		Status:            status,
+		PanicMsg:          rec.PanicMsg,
+		Attempts:          rec.Attempts,
+		Quarantined:       rec.Quarantined,
+		Stats:             rec.Stats.stats(),
+		RetryStats:        rec.RetryStats.stats(),
+		Restored:          true,
+		JournalLintErrors: rec.LintErrors,
+	}, true
+}
+
+// Append journals one completed result and atomically persists the
+// journal. On a write error the record stays in memory (a later append
+// retries it) and the error is both returned and remembered for Err.
+func (c *Checkpoint) Append(r Result) error {
+	root := c.rootCheckpoint()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	root.addLocked(journalRecord{
+		Scope:       c.scope,
+		Name:        r.Name,
+		Status:      r.Status.String(),
+		PanicMsg:    r.PanicMsg,
+		Attempts:    r.Attempts,
+		Quarantined: r.Quarantined,
+		LintErrors:  r.LintErrors(),
+		Stats:       toStatsRecord(r.Stats),
+		RetryStats:  toStatsRecord(r.RetryStats),
+	})
+	if root.faults != nil {
+		if err := root.faults.CheckpointWriteErr(r.Name); err != nil {
+			root.wErr = err
+			return err
+		}
+	}
+	if err := root.flushLocked(); err != nil {
+		root.wErr = err
+		return err
+	}
+	return nil
+}
+
+// flushLocked writes the full journal to <path>.tmp, syncs it and renames
+// it over <path>. The rename is atomic on POSIX filesystems, so a crash
+// at any point leaves a complete journal (old or new) behind.
+func (c *Checkpoint) flushLocked() error {
+	tmp := c.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, rec := range c.records {
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (c *Checkpoint) Path() string {
+	if c == nil {
+		return ""
+	}
+	return filepath.Clean(c.rootCheckpoint().path)
+}
+
+// Canonical renders the Summary as a deterministic byte string: results
+// in task order with their status, retry accounting and
+// scheduling-independent statistics, then the corpus totals. Wall-clock
+// fields, memo-cache hit counts and the statistics of abandoned attempts
+// are excluded — time varies run to run, hits depend on how warm the
+// shared cache was when each lift ran (a resumed run replays part of the
+// corpus from the journal), and a cooperatively timed-out attempt's
+// partial statistics depend on where the deadline landed. Everything
+// included is a pure function of the inputs, so an interrupted-and-
+// resumed run renders byte-identically to an uninterrupted one.
+func (s *Summary) Canonical() string {
+	var b []byte
+	app := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	for _, r := range s.Results {
+		g := r.Stats.Graph
+		app("%s status=%s attempts=%d quarantined=%t lint=%d instrs=%d states=%d joins=%d edges=%d A=%d B=%d C=%d obl=%d asm=%d weird=%d queries=%d forks=%d destroys=%d\n",
+			r.Name, r.Status, r.Attempts, r.Quarantined, r.LintErrors(),
+			g.Instructions, g.States, g.Joins, g.Edges,
+			g.ResolvedInd, g.UnresolvedJump, g.UnresolvedCall,
+			g.Obligations, g.Assumptions, g.WeirdVertices,
+			r.Stats.Sem.SolverQueries, r.Stats.Sem.Forks, r.Stats.Sem.Destroys)
+	}
+	tg := s.Stats.Graph
+	app("total lifted=%d unprovable=%d concurrency=%d timeouts=%d errors=%d panics=%d cancelled=%d retried=%d quarantined=%d lint=%d\n",
+		s.Lifted, s.Unprovable, s.Concurrency, s.Timeouts, s.Errors, s.Panics,
+		s.Cancelled, s.Retried, s.Quarantined, s.LintErrors)
+	app("stats instrs=%d states=%d joins=%d edges=%d A=%d B=%d C=%d obl=%d asm=%d weird=%d queries=%d forks=%d destroys=%d\n",
+		tg.Instructions, tg.States, tg.Joins, tg.Edges,
+		tg.ResolvedInd, tg.UnresolvedJump, tg.UnresolvedCall,
+		tg.Obligations, tg.Assumptions, tg.WeirdVertices,
+		s.Stats.Sem.SolverQueries, s.Stats.Sem.Forks, s.Stats.Sem.Destroys)
+	return string(b)
+}

@@ -1,0 +1,288 @@
+package pipeline
+
+// Tests for the checkpoint journal: round-trip restore, resilience to
+// write faults and corrupt tails, and the acceptance criterion — a run
+// killed mid-corpus under injected faults and then resumed renders a
+// Summary byte-identical to an uninterrupted run's.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// checkpointDir builds a mid-sized corpus with status diversity (lifted
+// and unprovable units) so a journal carries more than one outcome kind.
+func checkpointDir(t *testing.T) []Task {
+	t.Helper()
+	shape := corpus.DirShape{
+		Name: "ckpttest", Kind: corpus.KindLibFunc, Lifted: 12, Unprovable: 3,
+		MinStmts: 2, MaxStmts: 6, Helpers: 1,
+	}
+	dir, err := corpus.BuildDirectory(shape, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make([]Task, 0, len(dir.Units))
+	for _, u := range dir.Units {
+		cfg := core.DefaultConfig()
+		if u.Budget > 0 {
+			cfg.MaxStates = u.Budget
+		}
+		tasks = append(tasks, Task{
+			Name:   u.Name,
+			Img:    u.Image,
+			Addr:   u.FuncAddr,
+			Binary: u.Kind == corpus.KindBinary,
+			Cfg:    &cfg,
+		})
+	}
+	return tasks
+}
+
+// TestCheckpointRoundTrip journals a full run, resumes from the journal,
+// and checks the second run restores everything without lifting.
+func TestCheckpointRoundTrip(t *testing.T) {
+	tasks := checkpointDir(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cp, err := CreateCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := RunCtx(context.Background(), tasks, Options{Jobs: 2, Checkpoint: cp})
+	if err := cp.Err(); err != nil {
+		t.Fatalf("journal error: %v", err)
+	}
+	if cp.Len() != len(tasks) {
+		t.Fatalf("journal holds %d results, want %d", cp.Len(), len(tasks))
+	}
+
+	resumed, err := ResumeCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Skipped() != 0 || resumed.Len() != len(tasks) {
+		t.Fatalf("resumed journal: len=%d skipped=%d, want %d/0",
+			resumed.Len(), resumed.Skipped(), len(tasks))
+	}
+	ring := obs.NewRing(1 << 12)
+	second := RunCtx(context.Background(), tasks, Options{
+		Jobs: 2, Checkpoint: resumed, Tracer: obs.NewTracer(ring),
+	})
+	if second.Restored != len(tasks) {
+		t.Fatalf("Restored = %d, want %d", second.Restored, len(tasks))
+	}
+	if got, want := second.Canonical(), first.Canonical(); got != want {
+		t.Fatalf("restored summary diverges:\n--- restored ---\n%s--- original ---\n%s", got, want)
+	}
+	skips := 0
+	for _, e := range ring.Events() {
+		if e.Kind == obs.KCheckpoint && e.Status == "skip" {
+			skips++
+		}
+	}
+	if skips != len(tasks) {
+		t.Fatalf("%d checkpoint-skip events, want %d", skips, len(tasks))
+	}
+}
+
+// TestCheckpointScoped checks that equal task names in different scopes
+// do not collide (xenbench's fig3 sweep reuses one shape name across
+// eight size classes).
+func TestCheckpointScoped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cp, err := CreateCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := cp.Scoped("fig3/64"), cp.Scoped("fig3/128")
+	if err := a.Append(Result{Name: "fig3", Status: core.StatusLifted, Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(Result{Name: "fig3", Status: core.StatusTimeout, Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, oka := resumed.Scoped("fig3/64").Lookup("fig3")
+	rb, okb := resumed.Scoped("fig3/128").Lookup("fig3")
+	if !oka || !okb {
+		t.Fatalf("lookups: a=%t b=%t, want both", oka, okb)
+	}
+	if ra.Status != core.StatusLifted || rb.Status != core.StatusTimeout {
+		t.Fatalf("scoped statuses %s/%s, want lifted/timeout", ra.Status, rb.Status)
+	}
+	if _, ok := resumed.Lookup("fig3"); ok {
+		t.Fatal("unscoped lookup found a scoped record")
+	}
+}
+
+// TestCheckpointWriteErrorResilience injects write faults on half the
+// appends: the run must complete, report the fault through Err, and the
+// journal left on disk must still parse — each successful append rewrites
+// the whole journal, so earlier failures heal.
+func TestCheckpointWriteErrorResilience(t *testing.T) {
+	tasks := smallDir(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cp, err := CreateCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{Seed: 26, WriteErrRate: 0.5})
+	cp.SetFaults(inj)
+	ring := obs.NewRing(1 << 12)
+	sum := RunCtx(context.Background(), tasks, Options{
+		Jobs: 1, Checkpoint: cp, Tracer: obs.NewTracer(ring),
+	})
+	if sum.Lifted != len(tasks) {
+		t.Fatalf("lifted %d of %d under journal write faults", sum.Lifted, len(tasks))
+	}
+	wErrs := int(inj.Fired().WriteErrs)
+	if wErrs == 0 {
+		t.Fatal("no write faults fired at rate 0.5 — seed needs changing")
+	}
+	if cp.Err() == nil {
+		t.Fatal("Err() = nil after injected write faults")
+	}
+	errEvents := 0
+	for _, e := range ring.Events() {
+		if e.Kind == obs.KCheckpoint && e.Status == "write-error" {
+			errEvents++
+		}
+	}
+	if errEvents != wErrs {
+		t.Fatalf("%d write-error events, %d faults fired", errEvents, wErrs)
+	}
+	resumed, err := ResumeCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Skipped() != 0 {
+		t.Fatalf("journal has %d unparseable lines after atomic writes", resumed.Skipped())
+	}
+	// Every record up to the last successful append is on disk (failed
+	// appends are retried by the next one), so at most the trailing
+	// failures are missing.
+	if resumed.Len() < len(tasks)-wErrs {
+		t.Fatalf("journal holds %d results, want ≥ %d", resumed.Len(), len(tasks)-wErrs)
+	}
+}
+
+// TestCheckpointCorruptTail truncates the journal mid-line: resume must
+// keep the intact prefix and report the dropped tail via Skipped.
+func TestCheckpointCorruptTail(t *testing.T) {
+	tasks := smallDir(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cp, err := CreateCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RunCtx(context.Background(), tasks, Options{Jobs: 1, Checkpoint: cp})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != len(tasks) {
+		t.Fatalf("journal has %d lines, want %d", len(lines), len(tasks))
+	}
+	// Keep all but the last line intact, then half of the last line.
+	last := lines[len(lines)-1]
+	torn := strings.Join(lines[:len(lines)-1], "") + last[:len(last)/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Len() != len(tasks)-1 || resumed.Skipped() != 1 {
+		t.Fatalf("len=%d skipped=%d, want %d/1", resumed.Len(), resumed.Skipped(), len(tasks)-1)
+	}
+}
+
+// TestCheckpointMissingFile resumes from a path that does not exist — an
+// interrupted run may have died before its first append.
+func TestCheckpointMissingFile(t *testing.T) {
+	cp, err := ResumeCheckpoint(filepath.Join(t.TempDir(), "absent.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 0 || cp.Skipped() != 0 {
+		t.Fatalf("len=%d skipped=%d on missing file", cp.Len(), cp.Skipped())
+	}
+}
+
+// TestResumeDeterminism is the acceptance criterion: with seeded faults
+// injected into well over 10% of the tasks, a checkpointed run killed
+// mid-corpus and then resumed must produce a Summary byte-identical (in
+// its Canonical rendering) to an uninterrupted run's.
+func TestResumeDeterminism(t *testing.T) {
+	tasks := checkpointDir(t)
+	faultCfg := faultinject.Config{Seed: 11, PanicRate: 0.25, MaxAttemptFaults: 1}
+	retry := RetryPolicy{MaxAttempts: 3}
+
+	// Uninterrupted reference run, same faults and retry policy.
+	baseline := RunCtx(context.Background(), tasks, Options{
+		Jobs: 1, Retry: retry, Faults: faultinject.New(faultCfg),
+	})
+	if baseline.Retried == 0 {
+		t.Fatal("no task faulted at rate 0.25 — seed needs changing")
+	}
+	if baseline.Panics != 0 {
+		t.Fatalf("baseline has %d unrecovered panics; retries should absorb all", baseline.Panics)
+	}
+
+	// Run 1: same faults plus a kill switch that cancels the run after
+	// half the tasks completed.
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cp, err := CreateCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killCfg := faultCfg
+	killCfg.KillAfter = len(tasks) / 2
+	killInj := faultinject.New(killCfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killInj.OnKill(cancel)
+	killed := RunCtx(ctx, tasks, Options{
+		Jobs: 2, Retry: retry, Checkpoint: cp, Faults: killInj,
+	})
+	if killed.Cancelled == 0 {
+		t.Fatal("kill switch cancelled nothing — the run finished before the threshold")
+	}
+	if killed.Cancelled == len(tasks) {
+		t.Fatal("every task cancelled — nothing journalled before the kill")
+	}
+
+	// Run 2: resume from the journal with the same fault seed (no kill).
+	resumedCP, err := ResumeCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumedCP.Len() == 0 {
+		t.Fatal("journal empty after the killed run")
+	}
+	resumed := RunCtx(context.Background(), tasks, Options{
+		Jobs: 1, Retry: retry, Checkpoint: resumedCP, Faults: faultinject.New(faultCfg),
+	})
+	if resumed.Restored == 0 {
+		t.Fatal("resumed run restored nothing")
+	}
+	if resumed.Restored >= len(tasks) {
+		t.Fatalf("resumed run restored all %d tasks but %d were cancelled", resumed.Restored, killed.Cancelled)
+	}
+	if got, want := resumed.Canonical(), baseline.Canonical(); got != want {
+		t.Fatalf("resumed summary diverges from uninterrupted run:\n--- resumed ---\n%s--- baseline ---\n%s", got, want)
+	}
+}

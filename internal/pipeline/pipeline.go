@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/hglint"
 	"repro/internal/hoare"
 	"repro/internal/image"
@@ -79,6 +80,77 @@ type Options struct {
 	// error-severity findings, so schedulers and tests can fail fast on a
 	// malformed graph without paying for Step 2.
 	Lint bool
+	// Retry re-schedules lifts that end in StatusPanic or StatusTimeout —
+	// the two statuses that can arise from infrastructure faults rather
+	// than properties of the binary. Every lift is context-free and starts
+	// from the same initial state, so retrying one is sound: a retry can
+	// only reproduce the outcome or replace a fault with the real result.
+	// The zero policy disables retrying.
+	Retry RetryPolicy
+	// Checkpoint, when non-nil, makes the run crash-safe: every completed
+	// (non-cancelled) result is appended to the journal, and tasks whose
+	// results the journal already holds are restored without running.
+	Checkpoint *Checkpoint
+	// Faults, when non-nil, is the deterministic fault injector consulted
+	// at the start of every lift attempt and at kill-after thresholds.
+	// Production runs leave it nil; tests and the CI smoke job use it to
+	// prove the retry and resume machinery.
+	Faults *faultinject.Injector
+}
+
+// RetryPolicy tunes the pipeline's rescheduling of faulted lifts.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per task (≤ 1 disables
+	// retrying). A task still failing with a retryable status on its last
+	// attempt is quarantined.
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; it doubles on each
+	// further retry, capped by MaxBackoff when set.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff (0 = uncapped).
+	MaxBackoff time.Duration
+	// TimeoutScale multiplies the per-attempt timeout on each retry
+	// (values ≤ 1 keep Options.Timeout constant), so a lift that timed
+	// out under a tight budget gets an escalating one.
+	TimeoutScale float64
+}
+
+// attempts normalises MaxAttempts.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the delay before the given retry (attempt is the
+// 0-based index of the attempt that just failed).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.Backoff << attempt
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// timeout escalates the base per-lift budget for the given attempt.
+func (p RetryPolicy) timeout(base time.Duration, attempt int) time.Duration {
+	if base <= 0 || p.TimeoutScale <= 1 {
+		return base
+	}
+	d := base
+	for i := 0; i < attempt; i++ {
+		d = time.Duration(float64(d) * p.TimeoutScale)
+	}
+	return d
+}
+
+// retryable reports whether a status is worth another attempt: panics and
+// timeouts can be transient (a fault, a cold cache, scheduling pressure),
+// while the analysis outcomes (lifted, unprovable, concurrency, error)
+// are properties of the binary and deterministic.
+func retryable(s core.Status) bool {
+	return s == core.StatusPanic || s == core.StatusTimeout
 }
 
 // Stats is the per-lift statistics record, also used for corpus totals.
@@ -125,12 +197,32 @@ type Result struct {
 	// Lint holds one hglint report per successfully lifted graph (in
 	// Funcs order for binary tasks); nil unless Options.Lint was set.
 	Lint []*hglint.Report
+	// Attempts is the number of attempts this task consumed (1 = no
+	// retry; 0 = cancelled before its first attempt started).
+	Attempts int
+	// Quarantined marks a task that exhausted its retry budget while
+	// still failing with a retryable status; Status is the final
+	// attempt's outcome.
+	Quarantined bool
+	// RetryStats aggregates the statistics of the abandoned (retried)
+	// attempts. They are reported separately and never folded into Stats
+	// or the Summary totals: a corpus's counts must not depend on how
+	// many times its lifts were retried.
+	RetryStats Stats
+	// Restored marks a result restored from a checkpoint journal rather
+	// than executed in this run. Restored results carry Status, Stats and
+	// retry accounting but no Func/Binary/Lint payloads (the journal
+	// persists outcomes, not graphs).
+	Restored bool
+	// JournalLintErrors carries the journal-recorded lint error count of
+	// a restored result, whose Lint reports are not persisted.
+	JournalLintErrors int
 }
 
 // LintErrors sums the error-severity diagnostics across the result's
-// lint reports.
+// lint reports (for restored results: the journal-recorded count).
 func (r *Result) LintErrors() int {
-	n := 0
+	n := r.JournalLintErrors
 	for _, rep := range r.Lint {
 		n += rep.Errors()
 	}
@@ -147,8 +239,17 @@ type Summary struct {
 	// to the x column when printed in table form). Cancelled counts tasks
 	// stopped by the Run's context, in flight or before starting.
 	Lifted, Unprovable, Concurrency, Timeouts, Errors, Panics, Cancelled int
-	// Stats sums every lift's record (all statuses).
+	// Stats sums every lift's record (all statuses) — final attempts
+	// only; abandoned attempts accumulate into RetryStats instead.
 	Stats Stats
+	// RetryStats sums the abandoned attempts' records across the run,
+	// kept out of Stats so retried corpora aggregate identically to
+	// untroubled ones.
+	RetryStats Stats
+	// Retried counts tasks that needed more than one attempt;
+	// Quarantined counts those that exhausted the retry budget. Restored
+	// counts results replayed from the checkpoint journal.
+	Retried, Quarantined, Restored int
 	// LintErrors sums error-severity hglint diagnostics across every
 	// result (0 unless Options.Lint was set).
 	LintErrors int
@@ -178,15 +279,52 @@ func RunCtx(ctx context.Context, tasks []Task, opts Options) *Summary {
 		opts.Cache = solver.NewCache()
 	}
 	sum := &Summary{Results: make([]Result, len(tasks)), Cache: opts.Cache}
+	// Resume: restore journalled results up front so workers skip them.
+	// Per-unit independence makes this sound — a restored result is the
+	// outcome of the exact same lift the journal's run performed.
+	var restored []bool
+	if opts.Checkpoint != nil {
+		restored = make([]bool, len(tasks))
+		for i, t := range tasks {
+			if r, ok := opts.Checkpoint.Lookup(t.Name); ok {
+				r.Index = i
+				sum.Results[i] = r
+				restored[i] = true
+			}
+		}
+	}
 	start := time.Now()
 	ForEach(opts.Jobs, len(tasks), func(i int) {
-		sum.Results[i] = runOne(ctx, tasks[i], i, opts)
+		if restored != nil && restored[i] {
+			opts.Tracer.CheckpointSkip(tasks[i].Name)
+			return
+		}
+		r := runOne(ctx, tasks[i], i, opts)
+		sum.Results[i] = r
+		// Cancelled tasks are not journalled: they produced no outcome
+		// and must rerun on resume.
+		if opts.Checkpoint != nil && r.Status != core.StatusCancelled {
+			if err := opts.Checkpoint.Append(r); err != nil {
+				opts.Tracer.CheckpointError(r.Name, err)
+			}
+		}
+		opts.Faults.TaskCompleted()
 	})
 	sum.Wall = time.Since(start)
 	for i := range sum.Results {
 		r := &sum.Results[i]
 		sum.Stats.Add(r.Stats)
+		sum.RetryStats.Add(r.RetryStats)
 		sum.LintErrors += r.LintErrors()
+		if r.Attempts > 1 {
+			sum.Retried++
+		}
+		if r.Quarantined {
+			sum.Quarantined++
+		}
+		if r.Restored {
+			sum.Restored++
+		}
 		switch r.Status {
 		case core.StatusLifted:
 			sum.Lifted++
@@ -215,12 +353,12 @@ func Run(tasks []Task, opts Options) *Summary {
 	return RunCtx(context.Background(), tasks, opts)
 }
 
-// runOne executes a single lift under the watchdog and panic guard. The
-// lift itself runs on a child goroutine; if it exceeds the watchdog budget
-// the worker abandons it (the cooperative deadline will terminate the
-// orphan at its next exploration step) and reports a timeout, so one
-// wedged lift can never stall the whole corpus. Cancelling ctx likewise
-// abandons a lift that does not return promptly on its own.
+// runOne executes a single task under the retry policy: attempts run
+// until one ends in a non-retryable status or the budget is exhausted.
+// Only the final attempt's Result (and Stats) is returned; abandoned
+// attempts accumulate into RetryStats so corpus totals never double-count
+// a retried lift. A task still failing retryably on its last attempt is
+// quarantined.
 func runOne(ctx context.Context, t Task, idx int, opts Options) Result {
 	tr := opts.Tracer.WithLift(t.Name)
 	start := time.Now()
@@ -230,13 +368,55 @@ func runOne(ctx context.Context, t Task, idx int, opts Options) Result {
 	}
 	if ctx.Err() != nil {
 		// The run was cancelled before this task started.
-		return finish(Result{Name: t.Name, Index: idx, Status: core.StatusCancelled})
+		return finish(Result{Name: t.Name, Index: idx, Status: core.StatusCancelled, Attempts: 0})
 	}
 	tr.TaskStart(t.Name)
+	maxAttempts := opts.Retry.attempts()
+	var retryStats Stats
+	for attempt := 0; ; attempt++ {
+		r := runAttempt(ctx, t, idx, opts, tr, attempt)
+		r.Attempts = attempt + 1
+		r.RetryStats = retryStats
+		if !retryable(r.Status) {
+			return finish(r)
+		}
+		if attempt+1 >= maxAttempts {
+			if maxAttempts > 1 {
+				r.Quarantined = true
+				tr.Quarantine(t.Name, r.Status.String(), r.Attempts)
+			}
+			return finish(r)
+		}
+		retryStats.Add(r.Stats)
+		backoff := opts.Retry.backoff(attempt)
+		tr.Retry(t.Name, r.Status.String(), attempt, backoff)
+		if backoff > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				r.Status = core.StatusCancelled
+				r.Quarantined = false
+				return finish(r)
+			}
+		}
+	}
+}
+
+// runAttempt executes one lift attempt under the watchdog and panic
+// guard. The lift itself runs on a child goroutine; if it exceeds the
+// watchdog budget the worker abandons it (the cooperative deadline will
+// terminate the orphan at its next exploration step) and reports a
+// timeout, so one wedged lift can never stall the whole corpus.
+// Cancelling ctx likewise abandons a lift that does not return promptly
+// on its own.
+func runAttempt(ctx context.Context, t Task, idx int, opts Options, tr *obs.Tracer, attempt int) Result {
+	budget := opts.Retry.timeout(opts.Timeout, attempt)
 	lctx := ctx
-	if opts.Timeout > 0 {
+	if budget > 0 {
 		var cancel context.CancelFunc
-		lctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		lctx, cancel = context.WithTimeout(ctx, budget)
 		defer cancel()
 	}
 	done := make(chan Result, 1)
@@ -254,28 +434,42 @@ func runOne(ctx context.Context, t Task, idx int, opts Options) Result {
 		if hook := testHookLiftStart.Load(); hook != nil {
 			(*hook)(t.Name)
 		}
+		if d, ok := opts.Faults.LiftStall(t.Name, attempt); ok {
+			// An injected stall blocks without stepping — the shape of a
+			// wedged lift — but drains promptly once the attempt's
+			// context is cancelled (watchdog abandon or run cancel).
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-lctx.Done():
+				timer.Stop()
+			}
+		}
+		if opts.Faults.LiftPanic(t.Name, attempt) {
+			panic(fmt.Sprintf("faultinject: injected panic in lift %q attempt %d", t.Name, attempt))
+		}
 		done <- lift(lctx, t, idx, opts, tr)
 	}()
 	var watchdog <-chan time.Time
-	if opts.Timeout > 0 {
+	if budget > 0 {
 		// The watchdog allows double the cooperative budget plus
 		// scheduling slack before abandoning: a lift that is merely slow
 		// still reports its own (cooperative, deterministic) timeout
 		// result.
-		timer := time.NewTimer(2*opts.Timeout + 250*time.Millisecond)
+		timer := time.NewTimer(2*budget + 250*time.Millisecond)
 		defer timer.Stop()
 		watchdog = timer.C
 	}
 	select {
 	case r := <-done:
-		return finish(r)
+		return r
 	case <-watchdog:
-		tr.Watchdog(t.Name, opts.Timeout)
-		return finish(Result{Name: t.Name, Index: idx, Status: core.StatusTimeout})
+		tr.Watchdog(t.Name, budget)
+		return Result{Name: t.Name, Index: idx, Status: core.StatusTimeout}
 	case <-ctx.Done():
 		// The caller cancelled the whole run: abandon the lift rather
 		// than wait for its next cooperative check.
-		return finish(Result{Name: t.Name, Index: idx, Status: core.StatusCancelled})
+		return Result{Name: t.Name, Index: idx, Status: core.StatusCancelled}
 	}
 }
 

@@ -1,0 +1,107 @@
+package triple
+
+// Tests for graceful degradation in Step 2: cancelled and over-budget
+// checks skip theorems explicitly instead of failing them (or aborting),
+// and a partial report never claims full verification.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/hoare"
+	"repro/internal/sem"
+	"repro/internal/x86"
+)
+
+// tamperDistinct gives every non-terminal, non-entry vertex a distinct
+// bogus rax claim, so at least two theorems of a straight-line function
+// must fail (the entry's successor claim and each claim's successor).
+func tamperDistinct(t *testing.T, g *hoare.Graph) int {
+	t.Helper()
+	n := 0
+	for _, v := range g.Vertices {
+		if v.State == nil || v.Addr == textBase || v.ID == hoare.ExitID || v.ID == hoare.HaltID {
+			continue
+		}
+		v.State.Pred.SetReg(x86.RAX, expr.Word(100+v.Addr-textBase))
+		n++
+	}
+	if n < 2 {
+		t.Fatalf("only %d vertices to tamper with", n)
+	}
+	return n
+}
+
+// TestErrorBudgetSkips exhausts a budget of one failure: the checker must
+// record exactly one failed theorem, skip the rest, and refuse AllProven.
+func TestErrorBudgetSkips(t *testing.T) {
+	im, r := buildAndLift(t, func(a *x86.Asm) {
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.ImmOp(5, 4))
+		a.I(x86.MOV, x86.RegOp(x86.RCX, 8), x86.ImmOp(3, 4))
+		a.I(x86.RET)
+	}, nil)
+	if r.Status != core.StatusLifted {
+		t.Fatalf("lift: %s %v", r.Status, r.Reasons)
+	}
+	tamperDistinct(t, r.Graph)
+
+	full := Check(context.Background(), im, r.Graph, sem.DefaultConfig(), Workers(1))
+	if full.Failed < 2 {
+		t.Fatalf("tampering produced only %d failures, want ≥ 2", full.Failed)
+	}
+	if full.Skipped != 0 {
+		t.Fatalf("unbudgeted check skipped %d theorems", full.Skipped)
+	}
+
+	budgeted := Check(context.Background(), im, r.Graph, sem.DefaultConfig(),
+		Workers(1), ErrorBudget(1))
+	if budgeted.Failed != 1 {
+		t.Fatalf("budgeted check failed %d theorems, want exactly 1", budgeted.Failed)
+	}
+	if budgeted.Skipped == 0 {
+		t.Fatal("budgeted check skipped nothing after exhausting the budget")
+	}
+	if budgeted.AllProven() {
+		t.Fatal("partial check claims AllProven")
+	}
+	if got, want := len(budgeted.Theorems), len(full.Theorems); got != want {
+		t.Fatalf("budgeted report has %d theorems, want %d (one per vertex)", got, want)
+	}
+}
+
+// TestCancelledChecksSkip runs Check under an already-cancelled context:
+// every theorem must report Skipped — not Failed — and the report must
+// still refuse AllProven.
+func TestCancelledChecksSkip(t *testing.T) {
+	im, r := buildAndLift(t, func(a *x86.Asm) {
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.ImmOp(5, 4))
+		a.I(x86.RET)
+	}, nil)
+	if r.Status != core.StatusLifted {
+		t.Fatalf("lift: %s %v", r.Status, r.Reasons)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := Check(ctx, im, r.Graph, sem.DefaultConfig(), Workers(2))
+	if rep.Skipped != len(rep.Theorems) || rep.Failed != 0 {
+		t.Fatalf("cancelled check: skipped=%d failed=%d of %d, want all skipped",
+			rep.Skipped, rep.Failed, len(rep.Theorems))
+	}
+	if rep.AllProven() {
+		t.Fatal("cancelled check claims AllProven")
+	}
+	for _, th := range rep.Theorems {
+		if th.Verdict != Skipped || th.Reason == "" {
+			t.Fatalf("vertex %s: verdict %s reason %q", th.Vertex, th.Verdict, th.Reason)
+		}
+	}
+}
+
+// TestSkippedVerdictString pins the new verdict's rendering.
+func TestSkippedVerdictString(t *testing.T) {
+	if Skipped.String() != "skipped" {
+		t.Fatalf("Skipped.String() = %q", Skipped.String())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/hoare"
@@ -34,6 +35,11 @@ const (
 	Proven  Verdict = iota // all outcomes entail some successor invariant
 	Assumed                // the vertex carries an annotation: nothing to prove
 	Failed
+	// Skipped marks a theorem that was never attempted: the check's
+	// context was cancelled, or the error budget was already exhausted.
+	// A skipped theorem blocks AllProven just like a failed one — the
+	// report is explicit about being partial, never silently optimistic.
+	Skipped
 )
 
 // String renders the verdict.
@@ -43,6 +49,8 @@ func (v Verdict) String() string {
 		return "proven"
 	case Assumed:
 		return "assumed"
+	case Skipped:
+		return "skipped"
 	default:
 		return "FAILED"
 	}
@@ -63,11 +71,13 @@ type Report struct {
 	Proven   int
 	Assumed  int
 	Failed   int
+	Skipped  int
 }
 
 // AllProven reports whether every theorem was proven or explicitly
-// assumed.
-func (r *Report) AllProven() bool { return r.Failed == 0 }
+// assumed. Skipped theorems (cancellation, exhausted error budget) count
+// against it: a partial check never claims full verification.
+func (r *Report) AllProven() bool { return r.Failed == 0 && r.Skipped == 0 }
 
 // CheckOption tunes a Check run. The zero configuration checks serially
 // with no observation, matching the deprecated CheckGraph's workers == 1.
@@ -76,6 +86,7 @@ type CheckOption func(*checkCfg)
 type checkCfg struct {
 	workers int
 	tracer  *obs.Tracer
+	budget  int
 }
 
 // Workers fans the per-vertex theorems across n pool workers (< 1 = 1).
@@ -88,12 +99,23 @@ func WithTracer(t *obs.Tracer) CheckOption {
 	return func(c *checkCfg) { c.tracer = t }
 }
 
+// ErrorBudget keeps checking past failing theorems until n have failed,
+// then skips the rest (≤ 0 = unlimited, the default). The theorems are
+// mutually independent, so continuing past a failure is sound: each
+// verdict stands on its own, and the report remains explicit about what
+// was skipped.
+func ErrorBudget(n int) CheckOption {
+	return func(c *checkCfg) { c.budget = n }
+}
+
 // Check re-verifies every vertex of the graph, independently and in
 // parallel across the configured number of workers (the theorems are
 // mutually independent, so the pipeline's worker pool fans them out
 // directly). Cancelling the context stops issuing work; vertices not
-// checked in time report Failed with a cancellation reason, so a
-// cancelled report never claims AllProven.
+// checked in time report Skipped with a cancellation reason, so a
+// cancelled report never claims AllProven. An ErrorBudget likewise
+// degrades gracefully: once the budget is exhausted the remaining
+// theorems report Skipped instead of being attempted.
 func Check(ctx context.Context, img *image.Image, g *hoare.Graph, cfg sem.Config, opts ...CheckOption) *Report {
 	cc := checkCfg{workers: 1}
 	for _, o := range opts {
@@ -104,13 +126,21 @@ func Check(ctx context.Context, img *image.Image, g *hoare.Graph, cfg sem.Config
 	}
 	vertices := g.SortedVertices()
 	rep := &Report{Func: g.FuncName, Theorems: make([]Theorem, len(vertices))}
+	var failures atomic.Int64
 	pipeline.ForEach(cc.workers, len(vertices), func(i int) {
 		v := vertices[i]
-		if err := ctx.Err(); err != nil {
-			rep.Theorems[i] = Theorem{Vertex: v.ID, Addr: v.Addr, Verdict: Failed,
-				Reason: fmt.Sprintf("not checked: %v", err)}
-		} else {
+		switch {
+		case ctx.Err() != nil:
+			rep.Theorems[i] = Theorem{Vertex: v.ID, Addr: v.Addr, Verdict: Skipped,
+				Reason: fmt.Sprintf("not checked: %v", ctx.Err())}
+		case cc.budget > 0 && failures.Load() >= int64(cc.budget):
+			rep.Theorems[i] = Theorem{Vertex: v.ID, Addr: v.Addr, Verdict: Skipped,
+				Reason: fmt.Sprintf("not checked: error budget (%d) exhausted", cc.budget)}
+		default:
 			rep.Theorems[i] = checkVertex(img, g, cfg, v)
+			if rep.Theorems[i].Verdict == Failed {
+				failures.Add(1)
+			}
 		}
 		th := &rep.Theorems[i]
 		cc.tracer.Theorem(g.FuncName, string(th.Vertex), th.Addr, th.Verdict.String())
@@ -121,6 +151,8 @@ func Check(ctx context.Context, img *image.Image, g *hoare.Graph, cfg sem.Config
 			rep.Proven++
 		case Assumed:
 			rep.Assumed++
+		case Skipped:
+			rep.Skipped++
 		default:
 			rep.Failed++
 		}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/faultinject"
 	"repro/internal/image"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -43,7 +44,25 @@ type (
 	Result = pipeline.Result
 	// Stats is the per-lift statistics record.
 	Stats = pipeline.Stats
+	// RetryPolicy tunes the rescheduling of faulted lifts (see Retry).
+	RetryPolicy = pipeline.RetryPolicy
+	// Checkpoint is a crash-safe journal of completed results (see
+	// WithCheckpoint, NewCheckpoint and ResumeCheckpoint).
+	Checkpoint = pipeline.Checkpoint
 )
+
+// NewCheckpoint starts a fresh checkpoint journal at path, truncating any
+// existing one.
+func NewCheckpoint(path string) (*Checkpoint, error) {
+	return pipeline.CreateCheckpoint(path)
+}
+
+// ResumeCheckpoint loads the checkpoint journal at path (a missing file
+// yields an empty journal; a corrupt tail is dropped and reported by the
+// journal's Skipped method).
+func ResumeCheckpoint(path string) (*Checkpoint, error) {
+	return pipeline.ResumeCheckpoint(path)
+}
 
 // Request names one unit of work: a whole binary lifted from its entry
 // point, or a single function at an address. Construct with Binary or
@@ -142,6 +161,30 @@ func Tracer(t *obs.Tracer) Option {
 // disabled, so flag-gated sinks can be passed unconditionally.
 func Observe(sinks ...obs.Sink) Option {
 	return func(s *settings) { s.popts.Tracer = obs.NewTracer(sinks...) }
+}
+
+// Retry re-schedules lifts that end in StatusPanic or StatusTimeout —
+// the statuses infrastructure faults produce — under the given policy.
+// Every lift is context-free and starts from the same initial state, so a
+// retry can only reproduce the outcome or replace a fault with the real
+// result; lifts that exhaust the policy are quarantined on the Summary.
+func Retry(p RetryPolicy) Option {
+	return func(s *settings) { s.popts.Retry = p }
+}
+
+// WithCheckpoint makes the run crash-safe: every completed (non-
+// cancelled) result is appended to the journal, and tasks the journal
+// already holds are restored without lifting. Resuming an interrupted run
+// with the same requests reproduces the uninterrupted Summary.
+func WithCheckpoint(c *Checkpoint) Option {
+	return func(s *settings) { s.popts.Checkpoint = c }
+}
+
+// Faults installs a deterministic fault injector, consulted at the start
+// of every lift attempt (tests and the CI fault-injection smoke job;
+// production runs never set it).
+func Faults(inj *faultinject.Injector) Option {
+	return func(s *settings) { s.popts.Faults = inj }
 }
 
 // Lint runs the hglint static analyzer over every successfully lifted

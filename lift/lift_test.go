@@ -1,0 +1,66 @@
+package lift_test
+
+// Facade-level coverage of the robustness options: retry-with-backoff and
+// checkpoint/resume wired through lift.Run, with faults injected the same
+// way the CI smoke job does.
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/faultinject"
+	"repro/lift"
+)
+
+func scenarioRequests(t *testing.T) []lift.Request {
+	t.Helper()
+	scenarios, err := corpus.AllScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]lift.Request, 0, len(scenarios))
+	for _, s := range scenarios {
+		reqs = append(reqs, lift.Func(s.Name, s.Image, s.FuncAddr))
+	}
+	return reqs
+}
+
+// TestFacadeRetryAndCheckpoint drives the whole robustness surface
+// through the facade: every first attempt panics, retries recover every
+// lift, the journal records the outcomes, and a resumed run restores them
+// without lifting — summarising byte-identically.
+func TestFacadeRetryAndCheckpoint(t *testing.T) {
+	reqs := scenarioRequests(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cp, err := lift.NewCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{Seed: 3, PanicRate: 1, MaxAttemptFaults: 1})
+	sum := lift.Run(context.Background(), reqs,
+		lift.Jobs(2),
+		lift.Retry(lift.RetryPolicy{MaxAttempts: 2}),
+		lift.WithCheckpoint(cp),
+		lift.Faults(inj),
+	)
+	if sum.Panics != 0 || sum.Retried != len(reqs) {
+		t.Fatalf("panics=%d retried=%d, want 0/%d", sum.Panics, sum.Retried, len(reqs))
+	}
+	if cp.Err() != nil || cp.Len() != len(reqs) {
+		t.Fatalf("journal: len=%d err=%v", cp.Len(), cp.Err())
+	}
+
+	resumed, err := lift.ResumeCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum2 := lift.Run(context.Background(), reqs, lift.WithCheckpoint(resumed))
+	if sum2.Restored != len(reqs) {
+		t.Fatalf("Restored = %d, want %d", sum2.Restored, len(reqs))
+	}
+	if got, want := sum2.Canonical(), sum.Canonical(); got != want {
+		t.Fatalf("restored summary diverges:\n--- restored ---\n%s--- original ---\n%s", got, want)
+	}
+}

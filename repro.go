@@ -117,6 +117,12 @@ type Options struct {
 	// JoinCodePointers joins states holding different code-pointer
 	// immediates (ablation; loses indirection resolution).
 	JoinCodePointers bool
+	// ErrorBudget bounds Step 2's failing theorems per function: once that
+	// many have failed, the remaining theorems of the function are skipped
+	// rather than attempted (0 = unlimited). Either way verification keeps
+	// going past failures and reports partial results — it never aborts the
+	// whole binary on the first bad theorem.
+	ErrorBudget int
 }
 
 func (o Options) config() core.Config {
@@ -219,18 +225,71 @@ func FuncSymbols(elf []byte) (map[string]uint64, error) {
 	return out, nil
 }
 
-// VerifyReport is the Step 2 outcome: one theorem per vertex.
+// VerifyReport is the Step 2 outcome: one theorem per vertex, aggregated
+// across functions, with a per-function breakdown in Funcs.
 type VerifyReport struct {
 	Proven  int
 	Assumed int
 	Failed  int
+	// Skipped counts theorems never attempted (cancellation or an
+	// exhausted ErrorBudget).
+	Skipped int
+	// Degraded counts functions whose graphs could not be checked at all
+	// (e.g. hglint found them structurally malformed); their reasons are
+	// on the matching Funcs entries.
+	Degraded int
 	// Failures lists the failed theorems ("vertex: reason").
 	Failures []string
+	// Funcs breaks the totals down per function, so a partially verified
+	// binary reports exactly which functions degraded and how far each got.
+	Funcs []FuncVerify
+}
+
+// FuncVerify is the Step 2 outcome of one function.
+type FuncVerify struct {
+	Name    string
+	Proven  int
+	Assumed int
+	Failed  int
+	Skipped int
+	// Degraded explains why the function's graph was not checked at all;
+	// empty for checked functions.
+	Degraded string
 }
 
 // AllProven reports whether every theorem was proven or explicitly
-// assumed.
-func (r *VerifyReport) AllProven() bool { return r.Failed == 0 }
+// assumed. Skipped theorems and degraded functions count against it: a
+// partial verification never claims to be a full one.
+func (r *VerifyReport) AllProven() bool {
+	return r.Failed == 0 && r.Skipped == 0 && r.Degraded == 0
+}
+
+// addCheck folds one function's checking report into the totals.
+func (r *VerifyReport) addCheck(name string, check *triple.Report, qualify bool) {
+	fv := FuncVerify{Name: name, Proven: check.Proven, Assumed: check.Assumed,
+		Failed: check.Failed, Skipped: check.Skipped}
+	r.Proven += check.Proven
+	r.Assumed += check.Assumed
+	r.Failed += check.Failed
+	r.Skipped += check.Skipped
+	for _, th := range check.Sorted() {
+		if th.Verdict == triple.Failed {
+			label := string(th.Vertex)
+			if qualify {
+				label = name + "/" + label
+			}
+			r.Failures = append(r.Failures, fmt.Sprintf("%s: %s", label, th.Reason))
+		}
+	}
+	r.Funcs = append(r.Funcs, fv)
+}
+
+// addDegraded records a function whose graph could not be checked.
+func (r *VerifyReport) addDegraded(name, reason string) {
+	r.Degraded++
+	r.Funcs = append(r.Funcs, FuncVerify{Name: name, Degraded: reason})
+	r.Failures = append(r.Failures, fmt.Sprintf("%s: %s", name, reason))
+}
 
 // VerifyFunction runs Step 2 on a single function: the function is lifted,
 // then every vertex's Hoare triple is independently re-verified against
@@ -254,19 +313,17 @@ func VerifyFunction(elf []byte, addr uint64, opts ...Options) (*FuncReport, *Ver
 	if fr.Status != core.StatusLifted {
 		return rep, nil, fmt.Errorf("repro: function %s not lifted: %s", name, fr.Status)
 	}
-	// Fail-fast precheck: a structurally malformed graph would only
-	// surface deep inside the theorem checker as an opaque failure.
+	vr := &VerifyReport{}
+	// Precheck: a structurally malformed graph would only surface deep
+	// inside the theorem checker as an opaque failure, so report it as a
+	// degraded function instead of checking (or aborting).
 	if lrep := hglint.Lint(fr.Graph); lrep.HasErrors() {
-		return rep, nil, fmt.Errorf("repro: graph of %s is malformed: %d hglint errors:\n%s",
-			name, lrep.Errors(), lrep)
+		vr.addDegraded(name, fmt.Sprintf("malformed graph: %d hglint errors", lrep.Errors()))
+		return rep, vr, nil
 	}
-	check := triple.Check(context.Background(), im, fr.Graph, sem.DefaultConfig(), triple.Workers(4))
-	vr := &VerifyReport{Proven: check.Proven, Assumed: check.Assumed, Failed: check.Failed}
-	for _, th := range check.Sorted() {
-		if th.Verdict == triple.Failed {
-			vr.Failures = append(vr.Failures, fmt.Sprintf("%s: %s", th.Vertex, th.Reason))
-		}
-	}
+	check := triple.Check(context.Background(), im, fr.Graph, sem.DefaultConfig(),
+		triple.Workers(4), triple.ErrorBudget(o.ErrorBudget))
+	vr.addCheck(name, check, false)
 	return rep, vr, nil
 }
 
@@ -291,20 +348,16 @@ func VerifyBinary(elf []byte, opts ...Options) (*VerifyReport, error) {
 		if fr.Graph == nil {
 			continue
 		}
-		// Fail-fast precheck ahead of the per-vertex theorems.
+		// Precheck ahead of the per-vertex theorems. A malformed graph
+		// degrades its own function and the check moves on: one bad
+		// function must not abort Step 2 for the whole binary.
 		if lrep := hglint.Lint(fr.Graph); lrep.HasErrors() {
-			return nil, fmt.Errorf("repro: graph of %s is malformed: %d hglint errors:\n%s",
-				fr.Name, lrep.Errors(), lrep)
+			out.addDegraded(fr.Name, fmt.Sprintf("malformed graph: %d hglint errors", lrep.Errors()))
+			continue
 		}
-		check := triple.Check(context.Background(), im, fr.Graph, sem.DefaultConfig(), triple.Workers(4))
-		out.Proven += check.Proven
-		out.Assumed += check.Assumed
-		out.Failed += check.Failed
-		for _, th := range check.Sorted() {
-			if th.Verdict == triple.Failed {
-				out.Failures = append(out.Failures, fmt.Sprintf("%s/%s: %s", fr.Name, th.Vertex, th.Reason))
-			}
-		}
+		check := triple.Check(context.Background(), im, fr.Graph, sem.DefaultConfig(),
+			triple.Workers(4), triple.ErrorBudget(o.ErrorBudget))
+		out.addCheck(fr.Name, check, true)
 	}
 	return out, nil
 }

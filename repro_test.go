@@ -96,12 +96,37 @@ func TestVerifyAPI(t *testing.T) {
 	if vr.Proven == 0 {
 		t.Fatal("no theorems proven")
 	}
+	if vr.Skipped != 0 || vr.Degraded != 0 {
+		t.Fatalf("healthy function reports skipped=%d degraded=%d", vr.Skipped, vr.Degraded)
+	}
+	if len(vr.Funcs) != 1 || vr.Funcs[0].Proven != vr.Proven {
+		t.Fatalf("per-function breakdown: %+v (totals proven=%d)", vr.Funcs, vr.Proven)
+	}
+	// An error budget on a healthy function changes nothing: nothing
+	// fails, so nothing is skipped.
+	_, vrb, err := VerifyFunction(bin.ELF, bin.Funcs["main"], Options{ErrorBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vrb.AllProven() || vrb.Proven != vr.Proven {
+		t.Fatalf("budgeted verification diverges: %+v vs proven=%d", vrb, vr.Proven)
+	}
 	bvr, err := VerifyBinary(bin.ELF)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bvr.AllProven() {
 		t.Fatalf("binary failures: %v", bvr.Failures)
+	}
+	if len(bvr.Funcs) == 0 || bvr.Degraded != 0 {
+		t.Fatalf("binary breakdown: %d funcs, degraded=%d", len(bvr.Funcs), bvr.Degraded)
+	}
+	var proven int
+	for _, fv := range bvr.Funcs {
+		proven += fv.Proven
+	}
+	if proven != bvr.Proven {
+		t.Fatalf("per-function proven sums to %d, totals say %d", proven, bvr.Proven)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"context"
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/corpus"
@@ -193,6 +194,57 @@ func TestJSONLTraceMatchesStats(t *testing.T) {
 			t.Fatalf("%s: trace counts forks=%d destroys=%d queries=%d hits=%d, Stats %+v",
 				r.Name, c.forks, c.destroys, c.queries, c.hits, r.Stats.Sem)
 		}
+	}
+}
+
+// TestJSONLFlushOnCancel cancels a run before it starts: every task
+// reports cancelled, and the buffered JSONL sink must still surface the
+// full tail after Err (which flushes), with the metrics registry
+// aggregating the cancellations — the "kill a corpus run mid-flight and
+// keep its trace" contract of the batch commands.
+func TestJSONLFlushOnCancel(t *testing.T) {
+	scenarios, err := corpus.AllScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]lift.Request, 0, len(scenarios))
+	for _, s := range scenarios {
+		reqs = append(reqs, lift.Func(s.Name, s.Image, s.FuncAddr))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	jsonl := obs.NewJSONL(&buf)
+	metrics := obs.NewMetrics()
+	sum := lift.Run(ctx, reqs, lift.Jobs(2), lift.Observe(jsonl, metrics))
+	if sum.Cancelled != len(reqs) {
+		t.Fatalf("Cancelled = %d, want %d", sum.Cancelled, len(reqs))
+	}
+	if err := jsonl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	finishes := 0
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var e struct {
+			Kind   string `json:"k"`
+			Status string `json:"status"`
+		}
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("bad JSONL line after flush: %v", err)
+		}
+		if e.Kind == "task-finish" && e.Status == "cancelled" {
+			finishes++
+		}
+	}
+	if finishes != len(reqs) {
+		t.Fatalf("flushed trace has %d cancelled task-finish lines, want %d", finishes, len(reqs))
+	}
+	if got := metrics.CounterSnapshot()["task.cancelled"]; got != uint64(len(reqs)) {
+		t.Fatalf("task.cancelled counter = %d, want %d", got, len(reqs))
+	}
+	if !strings.Contains(metrics.Dump(), "task.cancelled") {
+		t.Fatal("metrics dump missing task.cancelled after cancel")
 	}
 }
 
