@@ -75,12 +75,13 @@ func coreutils(b *testing.B) []*corpus.Unit {
 
 // liftDir lifts every unit of a directory once through the facade (which
 // honours each unit's step budget via lift.UnitRequests).
-func liftDir(b *testing.B, dir *corpus.Directory, jobs int) {
+func liftDir(b *testing.B, dir *corpus.Directory, jobs int) *lift.Summary {
 	b.Helper()
 	sum := lift.Run(context.Background(), lift.UnitRequests(dir.Units), lift.Jobs(jobs))
 	if sum.Panics != 0 {
 		b.Fatalf("%d lifts panicked", sum.Panics)
 	}
+	return sum
 }
 
 func benchDir(b *testing.B, name string, jobs int) {
@@ -88,10 +89,15 @@ func benchDir(b *testing.B, name string, jobs int) {
 	if dir == nil {
 		b.Fatalf("no directory %q", name)
 	}
+	var sum *lift.Summary
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		liftDir(b, dir, jobs)
+		sum = liftDir(b, dir, jobs)
 	}
+	// Solver memo effectiveness of the last iteration's run, for the
+	// BENCH_*.json trajectory (scripts/bench.sh).
+	b.ReportMetric(100*sum.Cache.Stats().HitRate(), "hit%")
 }
 
 func BenchmarkTable1_bin(b *testing.B)          { benchDir(b, "bin", 1) }

@@ -1,5 +1,5 @@
 // Command reprovet is a go vet -vettool driver for the repo's custom
-// analyzers (internal/analysis): ctxless and obsnil. It reimplements
+// analyzers (internal/analysis): ctxless, exprnew, and obsnil. It reimplements
 // the small slice of the x/tools unitchecker protocol that cmd/go
 // speaks, on the standard library alone, so the repo stays free of
 // external dependencies.
@@ -60,7 +60,7 @@ func main() {
 		case "-V=full":
 			// cmd/go keys its cache on this line; bump the version when
 			// analyzer behaviour changes to invalidate cached results.
-			fmt.Println("reprovet version v1.0.0")
+			fmt.Println("reprovet version v1.1.0")
 			return
 		case "-flags":
 			fmt.Println("[]")
@@ -107,6 +107,7 @@ func main() {
 	info := &types.Info{
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
 	}
 	tc := &types.Config{Importer: imp, Sizes: types.SizesFor("gc", "amd64")}
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)

@@ -4,11 +4,14 @@
 // repo can ship custom vet passes without a dependency on x/tools — the
 // driver side of the go vet -vettool protocol lives in cmd/reprovet.
 //
-// Two analyzers are registered:
+// Three analyzers are registered:
 //
 //	ctxless — flags calls to the four Deprecated non-context entrypoints
 //	          (Lifter.LiftFunc, Lifter.LiftBinary, pipeline.Run,
 //	          triple.CheckGraph) and names the context-aware replacement.
+//	exprnew — flags expr.Expr composite literals outside package expr;
+//	          hand-built expressions bypass the intern table and break
+//	          the pointer-identity invariant behind expr.Equal.
 //	obsnil  — flags direct field access on *obs.Tracer outside package
 //	          obs; the tracer is nil when tracing is disabled, so only
 //	          its nil-safe methods may be used.
@@ -53,7 +56,7 @@ type Analyzer struct {
 }
 
 // All returns every registered analyzer.
-func All() []*Analyzer { return []*Analyzer{Ctxless, Obsnil} }
+func All() []*Analyzer { return []*Analyzer{Ctxless, Exprnew, Obsnil} }
 
 // Run applies the analyzers to the pass, drops directive-suppressed
 // findings, and returns the rest ordered by position then analyzer.

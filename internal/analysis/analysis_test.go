@@ -35,6 +35,11 @@ func CheckGraph() int { return Check(context.Background()) }
 func Check(ctx context.Context) int { return 0 }
 `
 
+const exprSrc = `package expr
+type Expr struct{}
+func Word(w uint64) *Expr { return &Expr{} }
+`
+
 const obsSrc = `package obs
 type Ring struct{}
 type Tracer struct {
@@ -69,6 +74,7 @@ func typecheck(t *testing.T, path, src string, imp types.Importer) *Pass {
 	info := &types.Info{
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
 	}
 	pkg, err := (&types.Config{Importer: imp}).Check(path, fset, []*ast.File{f}, info)
 	if err != nil {
@@ -92,6 +98,7 @@ func Background() Context { return nil }
 		"repro/internal/pipeline": pipelineSrc,
 		"repro/internal/triple":   tripleSrc,
 		"repro/internal/obs":      obsSrc,
+		"repro/internal/expr":     exprSrc,
 	} {
 		imp[path] = typecheck(t, path, src, imp).Pkg
 	}
@@ -189,6 +196,38 @@ func f(tr obs.Tracer, p *obs.Tracer) {
 	diags := Run(pass, []*Analyzer{Obsnil})
 	if len(diags) != 2 {
 		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+}
+
+func TestExprnewFlagsLiterals(t *testing.T) {
+	imp := stubImporter(t)
+	pass := typecheck(t, "example.com/lit", `package lit
+import "repro/internal/expr"
+func f() {
+	_ = &expr.Expr{}             // exprnew: pointer literal
+	_ = expr.Expr{}              // exprnew: value literal
+	_ = []*expr.Expr{nil}        // fine: slice literal of pointers
+	_ = map[int]*expr.Expr{}     // fine: map literal of pointers
+	_ = expr.Word(1)             // fine: constructor
+	_ = &expr.Expr{} //reprovet:ignore exprnew
+}
+`, imp)
+	diags := Run(pass, []*Analyzer{Exprnew})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if l := pass.Fset.Position(d.Pos).Line; l != 4 && l != 5 {
+			t.Errorf("unexpected diagnostic at line %d: %s", l, d.Msg)
+		}
+	}
+}
+
+func TestExprnewExemptsPackageExpr(t *testing.T) {
+	imp := mapImporter{}
+	pass := typecheck(t, "repro/internal/expr", exprSrc, imp)
+	if diags := Run(pass, []*Analyzer{Exprnew}); len(diags) != 0 {
+		t.Fatalf("interning constructors themselves must be exempt: %v", diags)
 	}
 }
 

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Exprnew flags composite literals of expr.Expr outside package expr. Every
+// expression must be built through the interning constructors (Word, V,
+// Deref, the smart constructors): a hand-built &expr.Expr{...} bypasses the
+// intern table, breaking the pointer-identity invariant that Equal and the
+// pointer-keyed clause maps rely on. (The struct's fields are unexported, so
+// such a literal barely typechecks anyway — this pass turns the loophole of
+// an empty literal, and any future exported field, into a vet error.)
+var Exprnew = &Analyzer{
+	Name: "exprnew",
+	Doc:  "flags expr.Expr composite literals outside the interning constructors",
+	Run:  runExprnew,
+}
+
+const exprPkgPath = "repro/internal/expr"
+
+func runExprnew(pass *Pass) []Diagnostic {
+	if pass.Pkg.Path() == exprPkgPath {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[lit]
+			if !ok {
+				return true
+			}
+			if named, ok := tv.Type.(*types.Named); ok &&
+				named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() == exprPkgPath &&
+				named.Obj().Name() == "Expr" {
+				diags = append(diags, Diagnostic{
+					Pos: lit.Pos(),
+					Msg: "expr.Expr composite literal bypasses interning; use the expr constructors",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -150,7 +150,7 @@ func (e *explorer) exploreOne(item workItem) {
 			Pred: pred.Join(item.st.Pred, v.State.Pred, string(vid)),
 			Mem:  memmodel.Join(item.st.Mem, v.State.Mem),
 		}
-		if joined.Key() == v.State.Key() {
+		if joined.Same(v.State) {
 			return // σ ⊑ σc: no further exploration necessary
 		}
 		v.State = joined

@@ -1,0 +1,62 @@
+package expr
+
+import (
+	"testing"
+)
+
+// buildDeep returns a deeply nested constant expression: a chain of region
+// reads whose addresses are offset sums, the shape compiler-generated
+// pointer chasing produces. Two independent builds are structurally equal,
+// so they exercise the equality path on terms whose canonical keys are
+// kilobytes long.
+func buildDeep(depth int) *Expr {
+	e := V("rsp0")
+	for i := 0; i < depth; i++ {
+		e = Deref(Add(e, Word(uint64(8+i))), 8)
+	}
+	return e
+}
+
+// BenchmarkEqual measures structural equality of two independently built,
+// structurally identical deep terms — the dominant comparison shape in
+// predicate joins and solver queries.
+func BenchmarkEqual(b *testing.B) {
+	x := buildDeep(256)
+	y := buildDeep(256)
+	if !x.Equal(y) {
+		b.Fatal("deep terms must be equal")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.Equal(y) {
+			b.Fatal("equality lost")
+		}
+	}
+}
+
+// BenchmarkKeyShared measures Key() on a fresh sum over subterms that were
+// built (and therefore key-cached) elsewhere — the MemEntries/Clauses
+// rendering shape.
+func BenchmarkKeyShared(b *testing.B) {
+	base := buildDeep(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := Add(base, Word(uint64(i)|1))
+		_ = e.Key()
+	}
+}
+
+// BenchmarkSubstAbsent measures substitution for a variable that does not
+// occur in the term (the common case when re-binding join variables).
+func BenchmarkSubstAbsent(b *testing.B) {
+	e := buildDeep(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Subst(e, "absent", Word(1)) != e {
+			b.Fatal("substitution of an absent variable must be identity")
+		}
+	}
+}

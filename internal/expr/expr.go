@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Var is a symbolic variable V: an opaque 64-bit unknown. By convention the
@@ -82,7 +83,12 @@ func (o Op) String() string {
 }
 
 // Expr is an immutable symbolic expression. Use the package-level
-// constructors; the zero value is not a valid expression.
+// constructors; the zero value is not a valid expression. Every Expr is
+// hash-consed (see intern.go): structurally equal expressions returned by
+// the constructors are pointer-identical, each node carries a precomputed
+// structural fingerprint, and the canonical Key and String renderings are
+// computed at most once per node (atomically, since interned nodes are
+// shared across the pipeline's lift workers).
 type Expr struct {
 	kind Kind
 	word uint64
@@ -90,23 +96,33 @@ type Expr struct {
 	op   Op
 	size uint8 // KindDeref: region size in bytes
 	args []*Expr
-	key  string
+	fp   uint64 // structural fingerprint, fixed at interning
+
+	key atomic.Pointer[string] // canonical key, built at most once
+	str atomic.Pointer[string] // String rendering, built at most once
 }
 
 // Word returns the expression denoting the 64-bit constant w.
 func Word(w uint64) *Expr {
-	return &Expr{kind: KindWord, word: w}
+	if w < uint64(len(smallWords)) {
+		if e := smallWords[w]; e != nil {
+			return e
+		}
+	}
+	return intern(KindWord, w, "", 0, 0, nil, fpWord(w))
 }
 
 // V returns the expression denoting the symbolic variable name.
 func V(name Var) *Expr {
-	return &Expr{kind: KindVar, v: name}
+	return intern(KindVar, 0, name, 0, 0, nil, fpVar(name))
 }
 
 // Deref returns the expression *[addr, size]: the value read from the
 // size-byte little-endian memory region starting at addr.
 func Deref(addr *Expr, size int) *Expr {
-	return &Expr{kind: KindDeref, size: uint8(size), args: []*Expr{addr}}
+	var argv [1]*Expr
+	argv[0] = addr
+	return intern(KindDeref, 0, "", 0, uint8(size), argv[:], fpDeref(uint8(size), addr.fp))
 }
 
 // Kind reports the form of the expression.
@@ -139,15 +155,29 @@ func (e *Expr) AsWord() (uint64, bool) {
 	return 0, false
 }
 
+// Fingerprint returns the precomputed 64-bit structural fingerprint of the
+// expression. Pointer-identical expressions have equal fingerprints;
+// distinct interned expressions collide with probability ~2⁻⁶⁴ per pair.
+// Exact keying should use the pointer itself; fingerprints are for
+// composite cache keys (see solver.Cache).
+func (e *Expr) Fingerprint() uint64 { return e.fp }
+
 // Key returns a canonical string key for the expression, suitable for use as
-// a map key. Structurally equal expressions have equal keys.
+// a map key. Structurally equal expressions have equal keys. The key is
+// built on first use and cached on the node; subterm keys are reused, so a
+// deep term costs only its top layer once its children have been rendered.
 func (e *Expr) Key() string {
-	if e.key == "" {
-		var b strings.Builder
-		e.writeKey(&b)
-		e.key = b.String()
+	if k := e.key.Load(); k != nil {
+		return *k
 	}
-	return e.key
+	var b strings.Builder
+	e.writeKey(&b)
+	s := b.String()
+	if e.key.CompareAndSwap(nil, &s) {
+		return s
+	}
+	// A concurrent builder won the race; both built the same bytes.
+	return *e.key.Load()
 }
 
 func (e *Expr) writeKey(b *strings.Builder) {
@@ -158,7 +188,7 @@ func (e *Expr) writeKey(b *strings.Builder) {
 		b.WriteString(string(e.v))
 	case KindDeref:
 		b.WriteString("*[")
-		e.args[0].writeKey(b)
+		b.WriteString(e.args[0].Key())
 		fmt.Fprintf(b, ",%d]", e.size)
 	case KindOp:
 		b.WriteString(e.op.String())
@@ -167,7 +197,7 @@ func (e *Expr) writeKey(b *strings.Builder) {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			a.writeKey(b)
+			b.WriteString(a.Key())
 		}
 		b.WriteByte(')')
 	}
@@ -177,7 +207,19 @@ func (e *Expr) writeKey(b *strings.Builder) {
 // sums print infix with two's-complement constants shown as subtractions
 // (rsp0 - 0x28), products as 0x4*x, and region reads as *[a,n]. The
 // rendering is deterministic, so it is safe inside canonical clause text.
+// Like Key, it is built at most once per interned node.
 func (e *Expr) String() string {
+	if s := e.str.Load(); s != nil {
+		return *s
+	}
+	s := e.render()
+	if e.str.CompareAndSwap(nil, &s) {
+		return s
+	}
+	return *e.str.Load()
+}
+
+func (e *Expr) render() string {
 	switch e.kind {
 	case KindWord:
 		return fmt.Sprintf("0x%x", e.word)
@@ -234,15 +276,18 @@ func (e *Expr) String() string {
 	return e.Key()
 }
 
-// Equal reports structural equality.
+// Equal reports structural equality. Interning makes this a pointer
+// compare: the constructors return the canonical node for every term, so
+// distinct pointers are distinct terms. The recursive structural walk
+// survives only as a debug-mode cross-check (EXPRDEBUG=1) that panics if
+// the intern invariant is ever violated.
 func (e *Expr) Equal(o *Expr) bool {
-	if e == o {
-		return true
+	if debugEqual {
+		if structuralEq(e, o) != (e == o) {
+			panic("expr: intern invariant violated: structural equality disagrees with pointer identity")
+		}
 	}
-	if e == nil || o == nil {
-		return false
-	}
-	return e.Key() == o.Key()
+	return e == o
 }
 
 // IsConstExpr reports whether e lies in the constant-expression subset C:
@@ -310,11 +355,24 @@ func (e *Expr) ContainsDeref() bool {
 
 // newOp builds a raw operator application without simplification.
 func newOp(op Op, args ...*Expr) *Expr {
-	return &Expr{kind: KindOp, op: op, args: args}
+	return intern(KindOp, 0, "", op, 0, args, fpOp(op, args))
 }
 
-// sortArgs returns args sorted by canonical key (for commutative operators).
+// sortArgs returns args sorted by canonical key (for commutative
+// operators). Already-sorted slices — the common case, since most
+// operands arrive from previously canonicalised terms — are returned
+// as-is without copying.
 func sortArgs(args []*Expr) []*Expr {
+	sorted := true
+	for i := 1; i < len(args); i++ {
+		if args[i-1].Key() > args[i].Key() {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return args
+	}
 	s := make([]*Expr, len(args))
 	copy(s, args)
 	sort.Slice(s, func(i, j int) bool { return s[i].Key() < s[j].Key() })

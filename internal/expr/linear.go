@@ -9,38 +9,36 @@ import "sort"
 // where the tᵢ are non-linear atoms (variables, region reads or opaque
 // operator applications) and arithmetic is modulo 2⁶⁴. The solver decides
 // pointer relations by subtracting linear forms; the simplifier uses it to
-// canonicalise sums.
+// canonicalise sums. Atoms are interned expressions, so the term map keys
+// directly on the canonical pointer — merging coefficients never builds or
+// hashes a key string.
 type Linear struct {
 	K     uint64
-	terms map[string]*term
-}
-
-type term struct {
-	e *Expr
-	c uint64 // coefficient, modulo 2^64 (negative coefficients wrap)
+	terms map[*Expr]uint64 // atom → coefficient, modulo 2^64
 }
 
 // NumTerms returns the number of distinct non-constant terms.
 func (l *Linear) NumTerms() int { return len(l.terms) }
 
 // Coeff returns the coefficient of atom t (0 if absent).
-func (l *Linear) Coeff(t *Expr) uint64 {
-	if tt, ok := l.terms[t.Key()]; ok {
-		return tt.c
-	}
-	return 0
-}
+func (l *Linear) Coeff(t *Expr) uint64 { return l.terms[t] }
 
 // Terms calls f for each (atom, coefficient) pair in canonical key order.
 func (l *Linear) Terms(f func(atom *Expr, coeff uint64)) {
-	keys := make([]string, 0, len(l.terms))
-	for k := range l.terms {
-		keys = append(keys, k)
+	for _, e := range l.sortedAtoms() {
+		f(e, l.terms[e])
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		f(l.terms[k].e, l.terms[k].c)
+}
+
+// sortedAtoms returns the atoms ordered by canonical key — the same order
+// the string-keyed map produced, so rendered sums are byte-identical.
+func (l *Linear) sortedAtoms() []*Expr {
+	atoms := make([]*Expr, 0, len(l.terms))
+	for e := range l.terms {
+		atoms = append(atoms, e)
 	}
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].Key() < atoms[j].Key() })
+	return atoms
 }
 
 // SingleTerm returns the unique (atom, coefficient) pair if the linear form
@@ -49,8 +47,8 @@ func (l *Linear) SingleTerm() (atom *Expr, coeff uint64, ok bool) {
 	if len(l.terms) != 1 {
 		return nil, 0, false
 	}
-	for _, t := range l.terms {
-		return t.e, t.c, true
+	for e, c := range l.terms {
+		return e, c, true
 	}
 	return nil, 0, false
 }
@@ -59,25 +57,25 @@ func (l *Linear) add(e *Expr, c uint64) {
 	if c == 0 {
 		return
 	}
-	k := e.Key()
-	if t, ok := l.terms[k]; ok {
-		t.c += c
-		if t.c == 0 {
-			delete(l.terms, k)
+	if old, ok := l.terms[e]; ok {
+		if old+c == 0 {
+			delete(l.terms, e)
+		} else {
+			l.terms[e] = old + c
 		}
 		return
 	}
 	if l.terms == nil {
-		l.terms = map[string]*term{}
+		l.terms = map[*Expr]uint64{}
 	}
-	l.terms[k] = &term{e: e, c: c}
+	l.terms[e] = c
 }
 
 // AddLinear accumulates scale·m into l.
 func (l *Linear) AddLinear(m *Linear, scale uint64) {
 	l.K += m.K * scale
-	for _, t := range m.terms {
-		l.add(t.e, t.c*scale)
+	for e, c := range m.terms {
+		l.add(e, c*scale)
 	}
 }
 
@@ -137,18 +135,13 @@ func (l *Linear) Expr() *Expr {
 	if len(l.terms) == 0 {
 		return Word(l.K)
 	}
-	keys := make([]string, 0, len(l.terms))
-	for k := range l.terms {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	args := make([]*Expr, 0, len(l.terms)+1)
-	for _, k := range keys {
-		t := l.terms[k]
-		if t.c == 1 {
-			args = append(args, t.e)
+	atoms := l.sortedAtoms()
+	args := make([]*Expr, 0, len(atoms)+1)
+	for _, e := range atoms {
+		if c := l.terms[e]; c == 1 {
+			args = append(args, e)
 		} else {
-			args = append(args, newOp(OpMul, Word(t.c), t.e))
+			args = append(args, newOp(OpMul, Word(c), e))
 		}
 	}
 	if l.K != 0 {
@@ -163,11 +156,11 @@ func (l *Linear) Expr() *Expr {
 // Sub returns l - m as a fresh linear form.
 func (l *Linear) Sub(m *Linear) *Linear {
 	d := &Linear{K: l.K - m.K}
-	for _, t := range l.terms {
-		d.add(t.e, t.c)
+	for e, c := range l.terms {
+		d.add(e, c)
 	}
-	for _, t := range m.terms {
-		d.add(t.e, -t.c)
+	for e, c := range m.terms {
+		d.add(e, -c)
 	}
 	return d
 }

@@ -381,7 +381,8 @@ func App(op Op, args ...*Expr) *Expr {
 }
 
 // Subst returns e with every occurrence of variable v replaced by r,
-// re-simplifying along the way.
+// re-simplifying along the way. When v does not occur in e the original
+// (interned) pointer is returned without rebuilding anything.
 func Subst(e *Expr, v Var, r *Expr) *Expr {
 	switch e.kind {
 	case KindWord:
@@ -398,6 +399,9 @@ func Subst(e *Expr, v Var, r *Expr) *Expr {
 		}
 		return Deref(a, int(e.size))
 	case KindOp:
+		if !e.ContainsVar(v) {
+			return e
+		}
 		changed := false
 		args := make([]*Expr, len(e.args))
 		for i, a := range e.args {

@@ -36,10 +36,10 @@ func (k RelKind) String() string {
 
 // InsResult is one nondeterministically produced memory model plus the
 // relation of every pre-existing region to the inserted region in that
-// model.
+// model, keyed by the regions' interned identities.
 type InsResult struct {
 	Forest Forest
-	Rel    map[string]RelKind
+	Rel    map[RegionID]RelKind
 }
 
 // Oracle answers necessarily-relation queries between regions; the lifter
@@ -75,41 +75,41 @@ func DefaultConfig() Config {
 // RelationsOf derives the relation of region r to every other region from
 // the structure of a model that already contains r. Same node: alias;
 // ancestor: r is enclosed in it; descendant: encloses; otherwise separate.
-func RelationsOf(f Forest, r solver.Region) map[string]RelKind {
-	want := regionKey(r)
-	rel := map[string]RelKind{}
+func RelationsOf(f Forest, r solver.Region) map[RegionID]RelKind {
+	want := IDOf(r)
+	rel := map[RegionID]RelKind{}
 	for _, reg := range f.AllRegions(nil) {
-		if k := regionKey(reg); k != want {
-			rel[k] = RelSeparate
+		if id := IDOf(reg); id != want {
+			rel[id] = RelSeparate
 		}
 	}
-	var walk func(f Forest, ancestors []string) bool
-	walk = func(f Forest, ancestors []string) bool {
+	var walk func(f Forest, ancestors []RegionID) bool
+	walk = func(f Forest, ancestors []RegionID) bool {
 		for _, t := range f {
 			inNode := false
-			var nodeKeys []string
+			var nodeIDs []RegionID
 			for _, reg := range t.Regions {
-				k := regionKey(reg)
-				nodeKeys = append(nodeKeys, k)
-				if k == want {
+				id := IDOf(reg)
+				nodeIDs = append(nodeIDs, id)
+				if id == want {
 					inNode = true
 				}
 			}
 			if inNode {
-				for _, k := range nodeKeys {
-					if k != want {
-						rel[k] = RelAlias
+				for _, id := range nodeIDs {
+					if id != want {
+						rel[id] = RelAlias
 					}
 				}
 				for _, a := range ancestors {
 					rel[a] = RelEnclosedIn
 				}
 				for _, kid := range t.Kids.AllRegions(nil) {
-					rel[regionKey(kid)] = RelEncloses
+					rel[IDOf(kid)] = RelEncloses
 				}
 				return true
 			}
-			if walk(t.Kids, append(ancestors, nodeKeys...)) {
+			if walk(t.Kids, append(ancestors, nodeIDs...)) {
 				return true
 			}
 		}
@@ -190,7 +190,7 @@ func compareTrees(t0, t1 *Tree, o Oracle) treeRel {
 // recording. t0 is the tree being inserted; f the current (sub-)model.
 func insTree(t0 *Tree, f Forest, o Oracle, cfg Config) []InsResult {
 	if len(f) == 0 {
-		return []InsResult{{Forest: Forest{t0.Clone()}, Rel: map[string]RelKind{}}}
+		return []InsResult{{Forest: Forest{t0.Clone()}, Rel: map[RegionID]RelKind{}}}
 	}
 	t1, rest := f[0], f[1:]
 	rel := compareTrees(t0, t1, o)
@@ -234,25 +234,25 @@ func insTree(t0 *Tree, f Forest, o Oracle, cfg Config) []InsResult {
 // children of the merged node. Existing top regions alias the write;
 // existing children are enclosed by it.
 func insAlias(t0, t1 *Tree, rest Forest) InsResult {
-	rel := map[string]RelKind{}
+	rel := map[RegionID]RelKind{}
 	merged := &Tree{}
-	seen := map[string]bool{}
+	seen := map[RegionID]bool{}
 	for _, r := range append(append([]solver.Region{}, t0.Regions...), t1.Regions...) {
-		if k := regionKey(r); !seen[k] {
-			seen[k] = true
+		if id := IDOf(r); !seen[id] {
+			seen[id] = true
 			merged.Regions = append(merged.Regions, r)
 		}
 	}
 	for _, r := range t1.Regions {
-		rel[regionKey(r)] = RelAlias
+		rel[IDOf(r)] = RelAlias
 	}
 	merged.Kids = append(t0.Kids.Clone(), t1.Kids.Clone()...)
 	for _, kid := range t1.Kids.AllRegions(nil) {
-		rel[regionKey(kid)] = RelEncloses
+		rel[IDOf(kid)] = RelEncloses
 	}
 	out := append(Forest{merged}, rest.Clone()...)
 	for _, r := range rest.AllRegions(nil) {
-		rel[regionKey(r)] = RelSeparate
+		rel[IDOf(r)] = RelSeparate
 	}
 	return InsResult{Forest: out, Rel: rel}
 }
@@ -262,15 +262,15 @@ func insSep(t0, t1 *Tree, rest Forest, o Oracle, cfg Config) []InsResult {
 	subResults := insTree(t0, rest, o, cfg)
 	out := make([]InsResult, 0, len(subResults))
 	for _, sub := range subResults {
-		rel := map[string]RelKind{}
+		rel := map[RegionID]RelKind{}
 		for k, v := range sub.Rel {
 			rel[k] = v
 		}
 		for _, r := range t1.Regions {
-			rel[regionKey(r)] = RelSeparate
+			rel[IDOf(r)] = RelSeparate
 		}
 		for _, r := range t1.Kids.AllRegions(nil) {
-			rel[regionKey(r)] = RelSeparate
+			rel[IDOf(r)] = RelSeparate
 		}
 		out = append(out, InsResult{
 			Forest: append(Forest{t1.Clone()}, sub.Forest...),
@@ -287,16 +287,16 @@ func insSep(t0, t1 *Tree, rest Forest, o Oracle, cfg Config) []InsResult {
 func insEnc(t0, t1 *Tree, rest Forest, o Oracle, cfg Config) InsResult {
 	subResults := insTree(t0, t1.Kids, o, cfg)
 	sub := subResults[0]
-	rel := map[string]RelKind{}
+	rel := map[RegionID]RelKind{}
 	for k, v := range sub.Rel {
 		rel[k] = v
 	}
 	for _, r := range t1.Regions {
-		rel[regionKey(r)] = RelEnclosedIn
+		rel[IDOf(r)] = RelEnclosedIn
 	}
 	nt := &Tree{Regions: append([]solver.Region(nil), t1.Regions...), Kids: sub.Forest}
 	for _, r := range rest.AllRegions(nil) {
-		rel[regionKey(r)] = RelSeparate
+		rel[IDOf(r)] = RelSeparate
 	}
 	return InsResult{Forest: append(Forest{nt}, rest.Clone()...), Rel: rel}
 }
@@ -306,17 +306,17 @@ func insEnc(t0, t1 *Tree, rest Forest, o Oracle, cfg Config) InsResult {
 func insCon(t0, t1 *Tree, rest Forest, o Oracle, cfg Config) []InsResult {
 	grown := t0.Clone()
 	grown.Kids = append(grown.Kids, t1.Clone())
-	inner := map[string]RelKind{}
+	inner := map[RegionID]RelKind{}
 	for _, r := range t1.Regions {
-		inner[regionKey(r)] = RelEncloses
+		inner[IDOf(r)] = RelEncloses
 	}
 	for _, r := range t1.Kids.AllRegions(nil) {
-		inner[regionKey(r)] = RelEncloses
+		inner[IDOf(r)] = RelEncloses
 	}
 	subResults := insTree(grown, rest, o, cfg)
 	out := make([]InsResult, 0, len(subResults))
 	for _, sub := range subResults {
-		rel := map[string]RelKind{}
+		rel := map[RegionID]RelKind{}
 		for k, v := range sub.Rel {
 			rel[k] = v
 		}
@@ -333,25 +333,25 @@ func insCon(t0, t1 *Tree, rest Forest, o Oracle, cfg Config) []InsResult {
 // (Section 1: partially overlapping regions are destroyed, reads from them
 // produce unconstrained symbolic values).
 func destroy(t0 *Tree, f Forest, o Oracle) InsResult {
-	rel := map[string]RelKind{}
+	rel := map[RegionID]RelKind{}
 	var kept Forest
 	for _, t := range f {
 		r := compareTrees(t0, t, o)
 		if r.separate == solver.Yes {
 			kept = append(kept, t.Clone())
 			for _, reg := range t.Regions {
-				rel[regionKey(reg)] = RelSeparate
+				rel[IDOf(reg)] = RelSeparate
 			}
 			for _, reg := range t.Kids.AllRegions(nil) {
-				rel[regionKey(reg)] = RelSeparate
+				rel[IDOf(reg)] = RelSeparate
 			}
 			continue
 		}
 		for _, reg := range t.Regions {
-			rel[regionKey(reg)] = RelDestroyed
+			rel[IDOf(reg)] = RelDestroyed
 		}
 		for _, reg := range t.Kids.AllRegions(nil) {
-			rel[regionKey(reg)] = RelDestroyed
+			rel[IDOf(reg)] = RelDestroyed
 		}
 	}
 	return InsResult{Forest: append(kept, t0.Clone()), Rel: rel}

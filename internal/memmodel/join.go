@@ -35,14 +35,14 @@ func Join(m0, m1 Forest) Forest {
 	}
 	union := func(a, b int) { parent[find(a)] = find(b) }
 
-	byRegion := map[string]int{}
+	byRegion := map[RegionID]int{}
 	for i, t := range trees {
 		for _, r := range t.Regions {
-			k := regionKey(r)
-			if j, ok := byRegion[k]; ok {
+			id := IDOf(r)
+			if j, ok := byRegion[id]; ok {
 				union(i, j)
 			} else {
-				byRegion[k] = i
+				byRegion[id] = i
 			}
 		}
 	}
@@ -152,23 +152,23 @@ func necessarilySeparate(t, u *Tree) bool {
 // models pairwise.
 func joinClass(class []*Tree) *Tree {
 	// Intersection of the region sets.
-	counts := map[string]int{}
-	repr := map[string]solver.Region{}
+	counts := map[RegionID]int{}
+	repr := map[RegionID]solver.Region{}
 	for _, t := range class {
-		seen := map[string]bool{}
+		seen := map[RegionID]bool{}
 		for _, r := range t.Regions {
-			k := regionKey(r)
-			if !seen[k] {
-				seen[k] = true
-				counts[k]++
-				repr[k] = r
+			id := IDOf(r)
+			if !seen[id] {
+				seen[id] = true
+				counts[id]++
+				repr[id] = r
 			}
 		}
 	}
 	var node []solver.Region
-	for k, c := range counts {
+	for id, c := range counts {
 		if c == len(class) {
-			node = append(node, repr[k])
+			node = append(node, repr[id])
 		}
 	}
 	if len(node) == 0 {

@@ -87,7 +87,7 @@ func TestInsEnclosure(t *testing.T) {
 	if len(nf) != 1 || len(nf[0].Kids) != 1 {
 		t.Fatalf("expected child: %v", nf)
 	}
-	if res[0].Rel[regionKey(reg(rsp(-16), 8))] != RelEnclosedIn {
+	if res[0].Rel[IDOf(reg(rsp(-16), 8))] != RelEnclosedIn {
 		t.Fatalf("parent relation: %v", res[0].Rel)
 	}
 	// The converse: inserting the big region into a model with the small one.
@@ -100,7 +100,7 @@ func TestInsEnclosure(t *testing.T) {
 	if len(nf2) != 1 || len(nf2[0].Kids) != 1 {
 		t.Fatalf("expected containment: %v", nf2)
 	}
-	if res2[0].Rel[regionKey(reg(rsp(-12), 4))] != RelEncloses {
+	if res2[0].Rel[IDOf(reg(rsp(-12), 4))] != RelEncloses {
 		t.Fatalf("child relation: %v", res2[0].Rel)
 	}
 }
@@ -117,7 +117,7 @@ func TestInsForkUnknownAlias(t *testing.T) {
 	}
 	var sawAlias, sawSep bool
 	for _, r := range res {
-		switch r.Rel[regionKey(reg(expr.V("rdi0"), 4))] {
+		switch r.Rel[IDOf(reg(expr.V("rdi0"), 4))] {
 		case RelAlias:
 			sawAlias = true
 			if r.Forest.NumRegions() != 2 || len(r.Forest) != 1 {
@@ -203,10 +203,10 @@ func TestDestroyOnNoForkConfig(t *testing.T) {
 		t.Fatalf("no-fork config must produce exactly one model, got %d", len(res))
 	}
 	rel := res[0].Rel
-	if rel[regionKey(reg(expr.V("rdi0"), 4))] != RelDestroyed {
+	if rel[IDOf(reg(expr.V("rdi0"), 4))] != RelDestroyed {
 		t.Fatalf("unknown-relation region must be destroyed: %v", rel)
 	}
-	if rel[regionKey(reg(rsp(-8), 8))] != RelDestroyed {
+	if rel[IDOf(reg(rsp(-8), 8))] != RelDestroyed {
 		// rsp0-8 vs rsi0 is also unknown; it must be destroyed as well.
 		t.Fatalf("stack region vs unknown pointer: %v", rel)
 	}
@@ -224,14 +224,14 @@ func TestRelationsOf(t *testing.T) {
 		f = res[0].Forest
 	}
 	rel := RelationsOf(f, reg(rsp(-12), 4))
-	if rel[regionKey(reg(rsp(-16), 8))] != RelEnclosedIn {
+	if rel[IDOf(reg(rsp(-16), 8))] != RelEnclosedIn {
 		t.Errorf("parent: %v", rel)
 	}
-	if rel[regionKey(reg(rsp(-24), 8))] != RelSeparate {
+	if rel[IDOf(reg(rsp(-24), 8))] != RelSeparate {
 		t.Errorf("sibling: %v", rel)
 	}
 	rel = RelationsOf(f, reg(rsp(-16), 8))
-	if rel[regionKey(reg(rsp(-12), 4))] != RelEncloses {
+	if rel[IDOf(reg(rsp(-12), 4))] != RelEncloses {
 		t.Errorf("child: %v", rel)
 	}
 }

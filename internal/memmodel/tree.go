@@ -36,9 +36,28 @@ func NewRegion(addr *expr.Expr, size uint64) solver.Region {
 	return solver.Region{Addr: addr, Size: size}
 }
 
-// regionKey identifies a region inside a model.
+// regionKey renders a region for the canonical string forms (Forest.Key,
+// Relations); identity checks and relation maps use RegionID instead.
 func regionKey(r solver.Region) string {
 	return fmt.Sprintf("%s#%d", r.Addr.Key(), r.Size)
+}
+
+// RegionID identifies a region exactly. Addresses are interned expressions,
+// so the (address pointer, size) pair is a comparable value with the same
+// equality as the rendered "addrKey#size" string, at no rendering cost. The
+// semantics layer builds the same IDs from its predicate clauses to look up
+// relation verdicts.
+type RegionID struct {
+	Addr *expr.Expr
+	Size uint64
+}
+
+// IDOf returns the identity of a region.
+func IDOf(r solver.Region) RegionID { return RegionID{Addr: r.Addr, Size: r.Size} }
+
+// String renders the identity in the canonical "addrKey#size" form.
+func (id RegionID) String() string {
+	return fmt.Sprintf("%s#%d", id.Addr.Key(), id.Size)
 }
 
 // Leaf returns a single-region tree with no children.
@@ -89,6 +108,39 @@ func (t *Tree) key() string {
 // String renders the model in the paper's notation.
 func (f Forest) String() string { return f.Key() }
 
+// Same reports whether two forests encode the same model. Structurally
+// identical forests (same trees in the same order, regions pointer-equal —
+// the common case at the exploration's fixed point, since cloning preserves
+// order) are detected without rendering anything; otherwise it falls back to
+// the order-independent canonical Key.
+func (f Forest) Same(g Forest) bool {
+	if sameOrdered(f, g) {
+		return true
+	}
+	return f.Key() == g.Key()
+}
+
+func sameOrdered(f, g Forest) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for i, t := range f {
+		u := g[i]
+		if len(t.Regions) != len(u.Regions) {
+			return false
+		}
+		for j, r := range t.Regions {
+			if IDOf(r) != IDOf(u.Regions[j]) {
+				return false
+			}
+		}
+		if !sameOrdered(t.Kids, u.Kids) {
+			return false
+		}
+	}
+	return true
+}
+
 // AllRegions appends every region in the forest to dst and returns it.
 func (f Forest) AllRegions(dst []solver.Region) []solver.Region {
 	for _, t := range f {
@@ -99,11 +151,11 @@ func (f Forest) AllRegions(dst []solver.Region) []solver.Region {
 }
 
 // HasRegion reports whether the forest contains a region with the same
-// address key and size.
+// address and size.
 func (f Forest) HasRegion(r solver.Region) bool {
-	want := regionKey(r)
+	want := IDOf(r)
 	for _, existing := range f.AllRegions(nil) {
-		if regionKey(existing) == want {
+		if IDOf(existing) == want {
 			return true
 		}
 	}

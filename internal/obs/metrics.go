@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/expr"
 )
 
 // numHistBuckets bounds the wall-time histogram: exponential buckets from
@@ -170,10 +172,13 @@ func (m *Metrics) CounterSnapshot() map[string]uint64 {
 	return out
 }
 
-// Dump renders the registry as text: counters first, then histograms,
-// each section sorted by name. Counter lines are deterministic in the
-// workload (modulo solver.hits, see the type comment); histogram lines
-// report wall times and vary run to run.
+// Dump renders the registry as text: counters first, then the intern-table
+// gauges, then histograms, each section sorted by name. Counter lines are
+// deterministic in the workload (modulo solver.hits, see the type comment);
+// the intern gauges read the process-global expression table live (they are
+// not event-driven counters — emitting an event per interned node would
+// swamp the trace — and are excluded from CounterSnapshot for the same
+// reason); histogram lines report wall times and vary run to run.
 func (m *Metrics) Dump() string {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -186,6 +191,9 @@ func (m *Metrics) Dump() string {
 	for _, name := range names {
 		fmt.Fprintf(&b, "%-24s %d\n", name, m.counters[name].Load())
 	}
+	ist := expr.TableStats()
+	fmt.Fprintf(&b, "%-24s %d\n", "intern.entries", ist.Entries)
+	fmt.Fprintf(&b, "%-24s %d\n", "intern.hits", ist.Hits)
 	hnames := make([]string, 0, len(m.hists))
 	for name := range m.hists {
 		hnames = append(hnames, name)

@@ -21,7 +21,10 @@
 // compiler-generated linear address forms repeat heavily across vertices of
 // the same function and, for stack-relative regions, across functions, and
 // the verdict is a pure function of the cache key, so sharing the cache
-// changes no result.
+// changes no result. The key is a three-word fingerprint struct (the
+// predicate's range-clause fingerprint plus one per region, built on the
+// expression intern table's per-node hashes), so a probe allocates nothing
+// and never renders an expression to text.
 package pipeline
 
 import (

@@ -39,7 +39,7 @@ func Join(p, q *Pred, vid string) *Pred {
 		}
 		out.regs[i] = e
 		if ri != nil {
-			out.ranges[e.Key()] = *ri
+			out.ranges[e] = *ri
 		}
 	}
 
@@ -57,14 +57,16 @@ func Join(p, q *Pred, vid string) *Pred {
 		if !ok {
 			continue
 		}
-		jname := joinVarName(vid, "m"+sanitize(k))
+		// The join-variable name embeds the human-readable region key, as it
+		// always has — names are part of the canonical output.
+		jname := joinVarName(vid, "m"+sanitize(regionKey(pe.Addr, pe.Size)))
 		e, ri, ok := joinValue(p, q, pe.Val, qe.Val, jname)
 		if !ok {
 			continue
 		}
 		out.mem[k] = MemEntry{Addr: pe.Addr, Size: pe.Size, Val: e}
 		if ri != nil {
-			out.ranges[e.Key()] = *ri
+			out.ranges[e] = *ri
 		}
 	}
 
@@ -142,8 +144,8 @@ func joinValue(p, q *Pred, pe, qe *expr.Expr, jname expr.Var) (*expr.Expr, *rang
 		// abstractions (a stored clause constrains them), in which case
 		// they are re-abstracted to this vertex's join variable so the
 		// surviving value can never outlive its interval clause.
-		_, pstored := p.ranges[pe.Key()]
-		_, qstored := q.ranges[pe.Key()]
+		_, pstored := p.ranges[pe]
+		_, qstored := q.ranges[pe]
 		if !pstored && !qstored {
 			return pe, nil, true
 		}
@@ -182,7 +184,7 @@ func sideRange(p *Pred, e, jv *expr.Expr) (rangeInfo, bool) {
 		// vertex) must not escalate this vertex's widening.
 		grows := 0
 		if e.Equal(jv) {
-			if ri, stored := p.ranges[e.Key()]; stored {
+			if ri, stored := p.ranges[e]; stored {
 				grows = ri.grows
 			}
 		}
@@ -210,7 +212,9 @@ func sanitize(k string) string {
 }
 
 // Leq reports p ⊑ q, i.e. q is equally or more abstract: joining p into q
-// at the same vertex changes nothing.
+// at the same vertex changes nothing. Same compares the clause sets directly
+// (pointer compares on interned clauses) instead of rendering both
+// predicates to key strings.
 func Leq(p, q *Pred, vid string) bool {
-	return Join(p, q, vid).Key() == q.Key()
+	return Join(p, q, vid).Same(q)
 }

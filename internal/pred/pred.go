@@ -62,9 +62,19 @@ type MemEntry struct {
 	Val  *expr.Expr
 }
 
-// Key returns the canonical clause key of the region.
+// regionKey renders the canonical clause key of a region. It survives only
+// for human-facing output (join-variable names embed it); the clause maps
+// themselves key on interned pointers.
 func regionKey(addr *expr.Expr, size int) string {
 	return fmt.Sprintf("%s#%d", addr.Key(), size)
+}
+
+// memKey identifies a memory region exactly: addresses are interned
+// expressions, so the pair (address pointer, size) is a comparable map key
+// with the same equality as the old "addrKey#size" string — built for free.
+type memKey struct {
+	addr *expr.Expr
+	size int
 }
 
 // Pred is a predicate over concrete states.
@@ -73,13 +83,16 @@ type Pred struct {
 	regs   [17]*expr.Expr // indexed by x86.Reg; nil = unconstrained
 	flags  [x86.NumFlags]*expr.Expr
 	cmp    *Cmp
-	mem    map[string]MemEntry
-	ranges map[string]rangeInfo
+	mem    map[memKey]MemEntry
+	ranges map[*expr.Expr]rangeInfo
 
-	// rkey caches RangesKey; invalidated whenever the interval clause set
-	// mutates (AddRange). Strings are immutable, so Clone may share it.
+	// rkey/rfp cache RangesKey and RangesFingerprint; invalidated whenever
+	// the interval clause set mutates (AddRange). Both are immutable values,
+	// so Clone may share them.
 	rkey   string
 	rkeyOK bool
+	rfp    uint64
+	rfpOK  bool
 }
 
 type rangeInfo struct {
@@ -132,8 +145,8 @@ func growHull(hull, prev Range, grows int) (Range, int, bool) {
 // New returns the predicate ⊤.
 func New() *Pred {
 	return &Pred{
-		mem:    map[string]MemEntry{},
-		ranges: map[string]rangeInfo{},
+		mem:    map[memKey]MemEntry{},
+		ranges: map[*expr.Expr]rangeInfo{},
 	}
 }
 
@@ -154,10 +167,12 @@ func (p *Pred) Clone() *Pred {
 		regs:   p.regs,
 		flags:  p.flags,
 		cmp:    p.cmp,
-		mem:    make(map[string]MemEntry, len(p.mem)),
-		ranges: make(map[string]rangeInfo, len(p.ranges)),
+		mem:    make(map[memKey]MemEntry, len(p.mem)),
+		ranges: make(map[*expr.Expr]rangeInfo, len(p.ranges)),
 		rkey:   p.rkey,
 		rkeyOK: p.rkeyOK,
+		rfp:    p.rfp,
+		rfpOK:  p.rfpOK,
 	}
 	for k, v := range p.mem {
 		q.mem[k] = v
@@ -210,7 +225,7 @@ func (p *Pred) LastCmp() *Cmp { return p.cmp }
 
 // ReadMem returns the value clause for region [addr, size], if present.
 func (p *Pred) ReadMem(addr *expr.Expr, size int) (*expr.Expr, bool) {
-	e, ok := p.mem[regionKey(addr, size)]
+	e, ok := p.mem[memKey{addr, size}]
 	if !ok {
 		return nil, false
 	}
@@ -219,23 +234,31 @@ func (p *Pred) ReadMem(addr *expr.Expr, size int) (*expr.Expr, bool) {
 
 // WriteMem installs the clause ∗[addr, size] = val.
 func (p *Pred) WriteMem(addr *expr.Expr, size int, val *expr.Expr) {
-	p.mem[regionKey(addr, size)] = MemEntry{Addr: addr, Size: size, Val: val}
+	p.mem[memKey{addr, size}] = MemEntry{Addr: addr, Size: size, Val: val}
 }
 
 // DropMem removes the value clause for the exact region, if present.
 func (p *Pred) DropMem(addr *expr.Expr, size int) {
-	delete(p.mem, regionKey(addr, size))
+	delete(p.mem, memKey{addr, size})
 }
 
-// MemEntries calls f for every memory clause in canonical order.
+// MemEntries calls f for every memory clause in canonical order: sorted by
+// (address key, size), which coincides with the old "addrKey#size" string
+// order because '#' sorts below every character a key can contain.
 func (p *Pred) MemEntries(f func(MemEntry)) {
-	keys := make([]string, 0, len(p.mem))
-	for k := range p.mem {
-		keys = append(keys, k)
+	entries := make([]MemEntry, 0, len(p.mem))
+	for _, e := range p.mem {
+		entries = append(entries, e)
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		f(p.mem[k])
+	sort.Slice(entries, func(i, j int) bool {
+		ki, kj := entries[i].Addr.Key(), entries[j].Addr.Key()
+		if ki != kj {
+			return ki < kj
+		}
+		return entries[i].Size < entries[j].Size
+	})
+	for _, e := range entries {
+		f(e)
 	}
 }
 
@@ -260,6 +283,7 @@ func (p *Pred) AddRange(e *expr.Expr, r Range) {
 		return // vacuous
 	}
 	p.rkeyOK = false
+	p.rfpOK = false
 	if w, ok := e.AsWord(); ok {
 		if !r.Contains(w) {
 			p.bot = true
@@ -272,8 +296,7 @@ func (p *Pred) AddRange(e *expr.Expr, r Range) {
 			return
 		}
 	}
-	k := e.Key()
-	if old, ok := p.ranges[k]; ok {
+	if old, ok := p.ranges[e]; ok {
 		// Intersect.
 		if r.Lo > old.r.Lo {
 			old.r.Lo = r.Lo
@@ -285,10 +308,10 @@ func (p *Pred) AddRange(e *expr.Expr, r Range) {
 			p.bot = true
 			return
 		}
-		p.ranges[k] = old
+		p.ranges[e] = old
 		return
 	}
-	p.ranges[k] = rangeInfo{e: e, r: r}
+	p.ranges[e] = rangeInfo{e: e, r: r}
 }
 
 // RangeOf computes an unsigned interval for e under the predicate's
@@ -300,7 +323,7 @@ func (p *Pred) RangeOf(e *expr.Expr) (Range, bool) {
 	if w, ok := e.AsWord(); ok {
 		return Range{w, w}, true
 	}
-	if ri, ok := p.ranges[e.Key()]; ok {
+	if ri, ok := p.ranges[e]; ok {
 		return ri.r, true
 	}
 	if r, ok := intrinsicRange(e); ok {
@@ -318,7 +341,7 @@ func (p *Pred) RangeOf(e *expr.Expr) (Range, bool) {
 		if !ok {
 			return
 		}
-		ri, found := p.ranges[atom.Key()]
+		ri, found := p.ranges[atom]
 		if !found {
 			if ir, irOK := intrinsicRange(atom); irOK {
 				ri = rangeInfo{e: atom, r: ir}
@@ -408,15 +431,20 @@ func intrinsicRange(e *expr.Expr) (Range, bool) {
 	return Range{}, false
 }
 
+// sortedRanges returns the interval clauses in canonical key order.
+func (p *Pred) sortedRanges() []rangeInfo {
+	out := make([]rangeInfo, 0, len(p.ranges))
+	for _, ri := range p.ranges {
+		out = append(out, ri)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].e.Key() < out[j].e.Key() })
+	return out
+}
+
 // Ranges calls f for every interval clause in canonical key order.
 func (p *Pred) Ranges(f func(e *expr.Expr, r Range)) {
-	keys := make([]string, 0, len(p.ranges))
-	for k := range p.ranges {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		f(p.ranges[k].e, p.ranges[k].r)
+	for _, ri := range p.sortedRanges() {
+		f(ri.e, ri.r)
 	}
 }
 
@@ -505,13 +533,7 @@ func (p *Pred) Clauses() []string {
 	p.MemEntries(func(m MemEntry) {
 		out = append(out, fmt.Sprintf("*[%s,%d] == %s", m.Addr, m.Size, m.Val))
 	})
-	keys := make([]string, 0, len(p.ranges))
-	for k := range p.ranges {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		ri := p.ranges[k]
+	for _, ri := range p.sortedRanges() {
 		out = append(out, fmt.Sprintf("%s >= 0x%x", ri.e, ri.r.Lo))
 		out = append(out, fmt.Sprintf("%s <= 0x%x", ri.e, ri.r.Hi))
 	}
@@ -533,19 +555,72 @@ func (p *Pred) RangesKey() string {
 	if p.rkeyOK {
 		return p.rkey
 	}
-	keys := make([]string, 0, len(p.ranges))
-	for k := range p.ranges {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	var b strings.Builder
-	for _, k := range keys {
-		ri := p.ranges[k]
-		fmt.Fprintf(&b, "%s=%x:%x;", k, ri.r.Lo, ri.r.Hi)
+	for _, ri := range p.sortedRanges() {
+		fmt.Fprintf(&b, "%s=%x:%x;", ri.e.Key(), ri.r.Lo, ri.r.Hi)
 	}
 	p.rkey = b.String()
 	p.rkeyOK = true
 	return p.rkey
+}
+
+// RangesFingerprint returns a 64-bit fingerprint of the interval clause set
+// — the cheap form of RangesKey, used by the solver's memo table. Each
+// clause hashes to MixFP(MixFP(fp(e), lo), hi) and the clauses combine by
+// wrapping addition, so the fingerprint is independent of map iteration
+// order without sorting anything. Cached until the next AddRange.
+func (p *Pred) RangesFingerprint() uint64 {
+	if p.rfpOK {
+		return p.rfp
+	}
+	var h uint64
+	for e, ri := range p.ranges {
+		h += expr.MixFP(expr.MixFP(e.Fingerprint(), ri.r.Lo), ri.r.Hi)
+	}
+	p.rfp = h
+	p.rfpOK = true
+	return h
+}
+
+// Same reports exact semantic equality of two predicates: equal clause sets
+// up to the canonical Key rendering, ignoring the widening counters (which
+// Key also ignores). It is the allocation-free replacement for comparing
+// Key() strings when detecting the exploration's fixed point: interning
+// makes every clause compare a pointer or integer compare.
+func (p *Pred) Same(q *Pred) bool {
+	if p == q {
+		return true
+	}
+	if p.bot || q.bot {
+		return p.bot == q.bot
+	}
+	if p.regs != q.regs || p.flags != q.flags {
+		return false
+	}
+	switch {
+	case p.cmp == nil && q.cmp == nil:
+	case p.cmp == nil || q.cmp == nil:
+		return false
+	default:
+		pc, qc := p.cmp, q.cmp
+		if pc.Kind != qc.Kind || pc.Size != qc.Size || pc.Lhs != qc.Lhs || pc.Rhs != qc.Rhs {
+			return false
+		}
+	}
+	if len(p.mem) != len(q.mem) || len(p.ranges) != len(q.ranges) {
+		return false
+	}
+	for k, pe := range p.mem {
+		if qe, ok := q.mem[k]; !ok || pe.Val != qe.Val {
+			return false
+		}
+	}
+	for e, pri := range p.ranges {
+		if qri, ok := q.ranges[e]; !ok || pri.r != qri.r {
+			return false
+		}
+	}
+	return true
 }
 
 // String renders the predicate for humans.

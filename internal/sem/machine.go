@@ -190,10 +190,10 @@ func (o oracle) Compare(r0, r1 solver.Region) solver.Result {
 // paper rejects functions for. An address with no atoms (a global
 // constant) counts as the distinguished "global" provenance.
 func disjointAtoms(a0, a1 *expr.Expr) bool {
-	atoms := func(a *expr.Expr) map[string]bool {
-		s := map[string]bool{}
+	atoms := func(a *expr.Expr) map[*expr.Expr]bool {
+		s := map[*expr.Expr]bool{}
 		expr.ToLinear(a).Terms(func(atom *expr.Expr, _ uint64) {
-			s[atom.Key()] = true
+			s[atom] = true
 		})
 		return s
 	}

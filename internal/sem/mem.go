@@ -78,14 +78,13 @@ func (m *Machine) readMem(st *State, addr *expr.Expr, size int) []valState {
 // valueUnder derives the read value from existing memory clauses given the
 // relations of this model: an aliasing clause supplies its value directly;
 // an enclosing clause with a computable offset supplies the byte slice.
-func (m *Machine) valueUnder(p *pred.Pred, addr *expr.Expr, size int, rel map[string]memmodel.RelKind) *expr.Expr {
+func (m *Machine) valueUnder(p *pred.Pred, addr *expr.Expr, size int, rel map[memmodel.RegionID]memmodel.RelKind) *expr.Expr {
 	var found *expr.Expr
 	p.MemEntries(func(e pred.MemEntry) {
 		if found != nil {
 			return
 		}
-		k := entryKey(e)
-		switch rel[k] {
+		switch rel[entryID(e)] {
 		case memmodel.RelAlias:
 			if e.Size == size {
 				found = e.Val
@@ -149,7 +148,7 @@ func (m *Machine) writeMem(st *State, addr *expr.Expr, size int, val *expr.Expr)
 		}
 		var updates []update
 		s.Pred.MemEntries(func(e pred.MemEntry) {
-			rel, known := res.Rel[entryKey(e)]
+			rel, known := res.Rel[entryID(e)]
 			if !known {
 				return // no region in the model: treated as destroyed
 			}
@@ -173,15 +172,15 @@ func (m *Machine) writeMem(st *State, addr *expr.Expr, size int, val *expr.Expr)
 				}
 			}
 		})
-		byKey := map[string]*expr.Expr{}
+		byID := map[memmodel.RegionID]*expr.Expr{}
 		for _, u := range updates {
-			byKey[entryKey(u.e)] = u.val
+			byID[entryID(u.e)] = u.val
 		}
 		s.Pred.FilterMem(func(e pred.MemEntry) bool {
-			if rel, known := res.Rel[entryKey(e)]; known && rel == memmodel.RelSeparate {
+			if rel, known := res.Rel[entryID(e)]; known && rel == memmodel.RelSeparate {
 				return true
 			}
-			_, updated := byKey[entryKey(e)]
+			_, updated := byID[entryID(e)]
 			return updated
 		})
 		for _, u := range updates {
@@ -218,24 +217,11 @@ func insertable(addr *expr.Expr) bool {
 	return ok && coeff == 1
 }
 
-// entryKey renders a predicate memory clause's region key in the memory
-// model's format.
-func entryKey(e pred.MemEntry) string {
-	return e.Addr.Key() + "#" + itoa(e.Size)
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var b [8]byte
-	i := len(b)
-	for n > 0 {
-		i--
-		b[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(b[i:])
+// entryID maps a predicate memory clause to its region identity in the
+// memory model. Both sides hold the same interned address expression, so
+// the lookup is exact without rendering a key string.
+func entryID(e pred.MemEntry) memmodel.RegionID {
+	return memmodel.RegionID{Addr: e.Addr, Size: uint64(e.Size)}
 }
 
 // enumerateTable recognises reads at K + c·atom where the atom is interval

@@ -1,0 +1,31 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/pred"
+)
+
+// BenchmarkSolverCompareCached measures the memo-hit path of the cached
+// Compare — the operation Step-2 performs thousands of times per function
+// once the cache is warm.
+func BenchmarkSolverCompareCached(b *testing.B) {
+	p := pred.New()
+	p.AddRange(expr.V("i"), pred.Range{Lo: 0, Hi: 15})
+	p.AddRange(expr.V("j4_rax"), pred.Range{Lo: 0, Hi: 0xff})
+	rsp := expr.V("rsp0")
+	r0 := Region{Addr: expr.Add(rsp, expr.Word(^uint64(0)-15)), Size: 8}
+	r1 := Region{Addr: expr.Add(rsp, expr.Add(expr.Mul(expr.Word(8), expr.V("i")), expr.Word(^uint64(0)-63))), Size: 8}
+	c := NewCache()
+	if _, hit := c.Compare(p, r0, r1); hit {
+		b.Fatal("first query cannot hit")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hit := c.Compare(p, r0, r1); !hit {
+			b.Fatal("warm query must hit")
+		}
+	}
+}

@@ -1,10 +1,10 @@
 package solver
 
 import (
-	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/expr"
 	"repro/internal/pred"
 )
 
@@ -26,22 +26,37 @@ func (s CacheStats) HitRate() float64 {
 // Cache memoizes Compare verdicts. Compiler-generated address arithmetic is
 // linear in a handful of symbolic bases, so the same (predicate, region
 // pair) query recurs heavily across the vertices of a function — and, for
-// stack-relative regions, across functions of a whole corpus. The key is
-// the pair of region keys plus the predicate's interval fingerprint
-// (pred.RangesKey): Compare consults the predicate only through RangeOf,
-// i.e. only through the interval clauses, so the fingerprint is exact.
+// stack-relative regions, across functions of a whole corpus. The key is a
+// triple of 64-bit fingerprints: the predicate's interval fingerprint
+// (pred.RangesFingerprint — Compare consults the predicate only through
+// RangeOf, i.e. only through the interval clauses, so it is exact) and one
+// fingerprint per region mixing the interned address fingerprint with the
+// size. Probing allocates nothing: the key is a comparable struct of three
+// words, not a freshly built string.
+//
+// Fingerprints can collide, returning a stale verdict for a distinct query.
+// Each component collides with probability ~2⁻⁶⁴ per pair; by the birthday
+// bound a table of 10⁶ entries mis-keys with probability ≈ 3·10⁻⁸ over the
+// whole run, far below the noise floor of everything else (and the triple
+// checker independently re-proves every Hoare triple downstream).
 //
 // A Cache is safe for concurrent use by the pipeline's lift workers.
 type Cache struct {
 	mu      sync.RWMutex
-	m       map[string]Result
+	m       map[memoKey]Result
 	queries atomic.Uint64
 	hits    atomic.Uint64
 }
 
+// memoKey is the comparable three-fingerprint memo key.
+type memoKey struct {
+	ranges uint64
+	r0, r1 uint64
+}
+
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{m: map[string]Result{}}
+	return &Cache{m: map[memoKey]Result{}}
 }
 
 // Compare answers like the package-level Compare, consulting the memo
@@ -75,18 +90,11 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
-// cacheKey builds the memo key. The separator byte cannot occur in
-// expression keys, keeping the concatenation unambiguous.
-func cacheKey(p *pred.Pred, r0, r1 Region) string {
-	var b []byte
-	b = append(b, p.RangesKey()...)
-	b = append(b, 0)
-	b = append(b, r0.Addr.Key()...)
-	b = append(b, '#')
-	b = strconv.AppendUint(b, r0.Size, 10)
-	b = append(b, 0)
-	b = append(b, r1.Addr.Key()...)
-	b = append(b, '#')
-	b = strconv.AppendUint(b, r1.Size, 10)
-	return string(b)
+// cacheKey builds the memo key from precomputed fingerprints.
+func cacheKey(p *pred.Pred, r0, r1 Region) memoKey {
+	return memoKey{
+		ranges: p.RangesFingerprint(),
+		r0:     expr.MixFP(r0.Addr.Fingerprint(), r0.Size),
+		r1:     expr.MixFP(r1.Addr.Fingerprint(), r1.Size),
+	}
 }

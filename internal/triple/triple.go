@@ -354,11 +354,10 @@ func entailsPred(post, inv *pred.Pred) (bool, string) {
 	// Shared join variables encode correlations between parts: collect
 	// the post values assigned to each invariant variable and require
 	// them to coincide.
-	varUses := map[string][]*expr.Expr{}
+	varUses := map[*expr.Expr][]*expr.Expr{}
 	record := func(got, want *expr.Expr) {
 		if want != nil && want.Kind() == expr.KindVar && got != nil {
-			k := want.Key()
-			varUses[k] = append(varUses[k], got)
+			varUses[want] = append(varUses[want], got)
 		}
 	}
 
