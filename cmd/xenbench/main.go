@@ -17,6 +17,11 @@
 // workers share one solver memo cache, and the tables report its per-row
 // hit-rate ("Hit%") next to the per-directory wall time.
 //
+// -workers N distributes Table 2's Step-2 re-verification across N worker
+// subprocesses through internal/dist (0 = single-process, the default).
+// Verdicts are merged deterministically, so the printed table is
+// byte-identical at any worker count; only wall time changes.
+//
 // Robustness flags make long sweeps survivable:
 //
 //	-timeout d         per-lift wall-clock budget (0 = none)
@@ -59,6 +64,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dist"
 	"repro/internal/faultinject"
 	"repro/internal/hoare"
 	"repro/internal/obs"
@@ -73,6 +79,7 @@ import (
 // counters that decide the exit status.
 type runner struct {
 	jobs    int
+	workers int
 	timeout time.Duration
 	retry   lift.RetryPolicy
 	ckpt    *lift.Checkpoint
@@ -114,6 +121,7 @@ func (rn *runner) healthy() bool {
 }
 
 func main() {
+	dist.MaybeWorker()
 	table1 := flag.Bool("table1", false, "regenerate Table 1")
 	table2 := flag.Bool("table2", false, "regenerate Table 2")
 	fig3 := flag.Bool("fig3", false, "regenerate Figure 3")
@@ -123,6 +131,7 @@ func main() {
 	scale := flag.Float64("scale", 0.15, "Table 1 corpus scale (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "corpus generation seed")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel lift workers (1 = serial)")
+	workers := flag.Int("workers", 0, "Step-2 worker subprocesses for -table2 (0 = single-process)")
 	timeout := flag.Duration("timeout", 0, "per-lift wall-clock budget (0 = none)")
 	retries := flag.Int("retries", 1, "attempts per lift (>1 retries panicked/timed-out lifts)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "delay before the first retry (doubles per retry)")
@@ -172,6 +181,7 @@ func main() {
 	}
 	rn := &runner{
 		jobs:    *jobs,
+		workers: *workers,
 		timeout: *timeout,
 		retry:   lift.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff},
 		// tr is nil when no sink is selected: every emission site reduces
@@ -363,7 +373,45 @@ func runTable2(ctx context.Context, rn *runner) {
 		lift.Jobs(rn.jobs), lift.Timeout(rn.timeout),
 		lift.Tracer(rn.tr), lift.Retry(rn.retry), lift.Faults(rn.faults))
 	rn.absorb(sum)
+
+	// With -workers the Step-2 checks of every lifted function go through
+	// the dist coordinator in one batch (so solver batching and load
+	// balancing see the whole corpus); the reports come back in unit
+	// order, which is exactly the order the print loop below consumes
+	// them in. Worker chatter stays on stderr: the printed table is
+	// byte-identical to the single-process run.
+	var distReports []*triple.Report
+	if rn.workers > 0 {
+		var dus []dist.Unit
+		for i, r := range sum.Results {
+			if r.Status != core.StatusLifted || r.Binary == nil {
+				continue
+			}
+			for _, fr := range r.Binary.Funcs {
+				dus = append(dus, dist.Unit{
+					Name:  fmt.Sprintf("%s/%s", r.Name, fr.Name),
+					Img:   units[i].Image,
+					Graph: fr.Graph,
+				})
+			}
+		}
+		fmt.Fprintf(os.Stderr, "xenbench: distributing %d Step-2 checks across %d workers\n",
+			len(dus), rn.workers)
+		var err error
+		distReports, err = dist.Check(ctx, dus, dist.Options{
+			Workers: rn.workers,
+			Cfg:     sem.DefaultConfig(),
+			Retry:   rn.retry,
+			Timeout: rn.timeout,
+			Tracer:  rn.tr,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	var sumI, sumInd, sumP, sumA, sumF, sumS int
+	next := 0
 	for i, r := range sum.Results {
 		if r.Status != core.StatusLifted || r.Binary == nil {
 			fmt.Printf("%-10s NOT LIFTED: %s\n", r.Name, r.Status)
@@ -371,8 +419,14 @@ func runTable2(ctx context.Context, rn *runner) {
 		}
 		var proven, assumed, failed, skipped int
 		for _, fr := range r.Binary.Funcs {
-			rep := triple.Check(ctx, units[i].Image, fr.Graph, sem.DefaultConfig(),
-				triple.Workers(rn.jobs), triple.WithTracer(rn.tr))
+			var rep *triple.Report
+			if rn.workers > 0 {
+				rep = distReports[next]
+				next++
+			} else {
+				rep = triple.Check(ctx, units[i].Image, fr.Graph, sem.DefaultConfig(),
+					triple.Workers(rn.jobs), triple.WithTracer(rn.tr))
+			}
 			proven += rep.Proven
 			assumed += rep.Assumed
 			failed += rep.Failed

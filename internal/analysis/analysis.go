@@ -4,7 +4,7 @@
 // repo can ship custom vet passes without a dependency on x/tools — the
 // driver side of the go vet -vettool protocol lives in cmd/reprovet.
 //
-// Three analyzers are registered:
+// Four analyzers are registered:
 //
 //	ctxless — flags calls to the four Deprecated non-context entrypoints
 //	          (Lifter.LiftFunc, Lifter.LiftBinary, pipeline.Run,
@@ -15,6 +15,8 @@
 //	obsnil  — flags direct field access on *obs.Tracer outside package
 //	          obs; the tracer is nil when tracing is disabled, so only
 //	          its nil-safe methods may be used.
+//	pkgdoc  — flags packages with no package-level doc comment; external
+//	          test packages (_test variants) are exempt.
 //
 // A diagnostic is suppressed by a directive comment on the same line or
 // the line directly above it:
@@ -56,7 +58,7 @@ type Analyzer struct {
 }
 
 // All returns every registered analyzer.
-func All() []*Analyzer { return []*Analyzer{Ctxless, Exprnew, Obsnil} }
+func All() []*Analyzer { return []*Analyzer{Ctxless, Exprnew, Obsnil, Pkgdoc} }
 
 // Run applies the analyzers to the pass, drops directive-suppressed
 // findings, and returns the rest ordered by position then analyzer.

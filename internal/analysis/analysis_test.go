@@ -143,6 +143,7 @@ func use(l *core.Lifter, tr *obs.Tracer) {
 		got = append(got, finding{pass.Fset.Position(d.Pos).Line, d.Analyzer})
 	}
 	want := []finding{
+		{1, "pkgdoc"}, // the test package deliberately has no package doc
 		{12, "ctxless"}, {13, "ctxless"}, {14, "ctxless"}, {15, "ctxless"},
 		{19, "obsnil"},
 		{24, "ctxless"}, // the obsnil-only directive must not hide ctxless
@@ -231,6 +232,64 @@ func TestExprnewExemptsPackageExpr(t *testing.T) {
 	}
 }
 
+func TestPkgdoc(t *testing.T) {
+	imp := mapImporter{}
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"documented", "// Package doc does things.\npackage doc\n", 0},
+		{"undocumented", "package doc\n", 1},
+		{"main", "package main\nfunc main() {}\n", 1},
+		{"external test", "package doc_test\n", 0},
+	}
+	for _, tc := range cases {
+		pass := typecheck(t, "example.com/doc", tc.src, imp)
+		diags := Run(pass, []*Analyzer{Pkgdoc})
+		if len(diags) != tc.want {
+			t.Errorf("%s: got %d diagnostics, want %d: %v", tc.name, len(diags), tc.want, diags)
+		}
+		if tc.want == 1 {
+			if !strings.Contains(diags[0].Msg, "package comment") {
+				t.Errorf("%s: message %q does not explain the fix", tc.name, diags[0].Msg)
+			}
+			if p := pass.Fset.Position(diags[0].Pos); p.Line != 1 {
+				t.Errorf("%s: diagnostic at line %d, want the package clause", tc.name, p.Line)
+			}
+		}
+	}
+}
+
+func TestPkgdocAnyFileSuffices(t *testing.T) {
+	// A multi-file package needs the doc on only one file.
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for name, src := range map[string]string{
+		"a.go": "package multi\n",
+		"b.go": "// Package multi is documented here.\npackage multi\n",
+	} {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+	}
+	pkg, err := (&types.Config{}).Check("example.com/multi", fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	if diags := Run(pass, []*Analyzer{Pkgdoc}); len(diags) != 0 {
+		t.Fatalf("documented multi-file package flagged: %v", diags)
+	}
+}
+
 func TestRunOrdersDeterministically(t *testing.T) {
 	imp := stubImporter(t)
 	src := `package ord
@@ -248,7 +307,7 @@ func f(tr *obs.Tracer) {
 	for i := 0; i < 5; i++ {
 		pass := typecheck(t, "example.com/ord", src, imp)
 		diags := Run(pass, All())
-		if len(diags) != 3 {
+		if len(diags) != 4 { // pkgdoc fires too: ord has no package doc
 			t.Fatalf("got %d diagnostics", len(diags))
 		}
 		if prev != nil {

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Pkgdoc enforces the repo's godoc floor: every package must carry a
+// package-level doc comment, and in a non-main package it must open with
+// the canonical "Package <name>" form so godoc renders it. The check
+// fires once per package, anchored at the package clause of the first
+// (lexically smallest) file godoc would attribute the comment to, and
+// skips external test packages (the _test variants), whose documentation
+// lives with the package under test.
+var Pkgdoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "flags packages without a package-level doc comment",
+	Run:  runPkgdoc,
+}
+
+func runPkgdoc(pass *Pass) []Diagnostic {
+	name := pass.Pkg.Name()
+	if strings.HasSuffix(name, "_test") {
+		return nil
+	}
+	var first *ast.File
+	for _, f := range pass.Files {
+		if f.Doc != nil {
+			return nil
+		}
+		// Generated files may legitimately omit docs, but a package whose
+		// only files are generated still wants a hand-written doc.go; keep
+		// the anchor deterministic either way.
+		if first == nil || pass.Fset.Position(f.Package).Filename < pass.Fset.Position(first.Package).Filename {
+			first = f
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	want := fmt.Sprintf("a package comment (\"Package %s ...\")", name)
+	if name == "main" {
+		want = "a package comment describing the command"
+	}
+	return []Diagnostic{{
+		Pos: first.Package,
+		Msg: fmt.Sprintf("package %s has no package-level doc comment; add %s to one file", name, want),
+	}}
+}

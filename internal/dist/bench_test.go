@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/sem"
+	"repro/internal/triple"
+)
+
+// benchCorpus lifts a scaled-down Table 2 corpus once and shares the work
+// units across the worker-count benchmarks, so each benchmark measures
+// Step-2 checking only, never lifting.
+var benchCorpus struct {
+	once  sync.Once
+	units []Unit
+	err   error
+}
+
+func benchUnits(b *testing.B) []Unit {
+	benchCorpus.once.Do(func() {
+		cus, err := corpus.CoreUtilsSuite(0.5)
+		if err != nil {
+			benchCorpus.err = err
+			return
+		}
+		for _, cu := range cus {
+			l := core.New(cu.Image, core.DefaultConfig())
+			res := l.LiftBinaryCtx(context.Background(), cu.Name)
+			for _, fr := range res.Funcs {
+				if fr.Status != core.StatusLifted || fr.Graph == nil {
+					continue
+				}
+				benchCorpus.units = append(benchCorpus.units, Unit{
+					Name:  cu.Name + "/" + fr.Name,
+					Img:   cu.Image,
+					Graph: fr.Graph,
+				})
+			}
+		}
+	})
+	if benchCorpus.err != nil {
+		b.Fatal(benchCorpus.err)
+	}
+	if len(benchCorpus.units) == 0 {
+		b.Fatal("no lifted units")
+	}
+	return benchCorpus.units
+}
+
+// BenchmarkStep2InProcess is the distribution-free baseline: the same
+// units checked serially in this process, the way a dist worker checks
+// its shard. The gap to BenchmarkStep2Workers/workers=1 is the whole
+// per-shard protocol overhead (serialize, spawn, re-load, merge).
+func BenchmarkStep2InProcess(b *testing.B) {
+	units := benchUnits(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range units {
+			triple.Check(context.Background(), u.Img, u.Graph, sem.DefaultConfig())
+		}
+	}
+}
+
+// BenchmarkStep2Workers measures distributed Step-2 wall time as the
+// worker subprocess count grows (Threads fixed at 1, so the speedup is
+// attributable to distribution alone). bench.sh records the workers=1 vs
+// workers=2 pair as the scaling datapoint of BENCH_PR6.json.
+func BenchmarkStep2Workers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			units := benchUnits(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reports, err := Check(context.Background(), units, Options{
+					Workers: workers,
+					Threads: 1,
+					Cfg:     sem.DefaultConfig(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(reports) != len(units) {
+					b.Fatalf("reports: %d", len(reports))
+				}
+			}
+		})
+	}
+}

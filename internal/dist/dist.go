@@ -1,0 +1,258 @@
+// Package dist distributes Step-2 verification across worker subprocesses.
+// The paper's central scaling property — every vertex of the extracted
+// Hoare graph is one mutually independent theorem — is exploited
+// intra-process by package triple (a goroutine pool over the vertices of
+// one graph); this package lifts the same independence one level up, to
+// whole graphs fanned out across processes, the way distributed
+// proof-checking frontends shard per-theorem work over machines.
+//
+// The coordinator (Check) partitions the work units into contiguous
+// shards, serializes each shard into the compact binary container of
+// wire.go — the ELF bytes of every referenced binary, one
+// fingerprint-deduplicated interned-expression table shared by all of the
+// shard's graphs, and the graph records themselves — and hands each shard
+// to a worker subprocess on stdin. Workers are this same executable,
+// re-executed with REPRO_HG_WORKER=1 (any binary that calls MaybeWorker
+// first thing in main is a valid worker; hgprove also exposes the mode as
+// the hidden -worker flag). A worker rebuilds the images and graphs,
+// re-checks every vertex with package triple — batching all of the
+// shard's solver queries through one solver.Cache, so memoized verdicts
+// amortize across the shard's edges rather than being recomputed per
+// graph — and writes the verdicts back on stdout.
+//
+// Verdict merging is deterministic: reports land in work-unit input
+// order, and each report's theorems are in the graph's canonical vertex
+// order, so the merged output is byte-identical to a single-process run
+// over the same units — the coordinator adds distribution, never
+// reordering. Worker crashes and timeouts reuse the pipeline's
+// retry-then-quarantine semantics (pipeline.RetryPolicy): a failed shard
+// is re-scheduled with backoff, and a shard that exhausts its budget
+// degrades to explicit Skipped verdicts for every vertex it covered —
+// like a cancelled triple.Check, a degraded run never silently claims
+// success. Shard lifecycle, worker restarts, and per-shard solver cache
+// hit rates are reported through internal/obs.
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/internal/hoare"
+	"repro/internal/image"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/sem"
+	"repro/internal/triple"
+)
+
+// Unit is one work unit: re-verify one function's Hoare graph against the
+// binary it was lifted from. Distribution re-loads the image inside the
+// worker from its raw ELF bytes, so Img must have been built by
+// image.Load (Img.Raw() non-nil).
+type Unit struct {
+	Name  string
+	Img   *image.Image
+	Graph *hoare.Graph
+}
+
+// Options tunes a distributed Check.
+type Options struct {
+	// Workers is the number of concurrently running worker subprocesses
+	// (< 1 = 1).
+	Workers int
+	// ShardsPerWorker over-partitions the units into Workers×this many
+	// shards (≤ 0 = 4) so a slow shard does not straggle a whole worker
+	// slot: smaller shards load-balance better, larger ones amortize the
+	// per-shard solver cache further.
+	ShardsPerWorker int
+	// Threads is the intra-worker vertex parallelism (triple.Workers)
+	// each subprocess checks with (< 1 = 1).
+	Threads int
+	// Cfg is the semantic configuration workers check under. The
+	// SolverCache and Tracer fields are not shipped: each worker installs
+	// one fresh cache per shard (the query-batching this package exists
+	// for), and tracing stays coordinator-side.
+	Cfg sem.Config
+	// Retry is the worker crash/timeout policy, with the pipeline's
+	// retry-then-quarantine semantics: a shard whose worker exits
+	// non-zero, times out, or returns an unparseable result is re-run up
+	// to Retry.Attempts() times with Retry.Delay backoff, then
+	// quarantined — every vertex it covered reports Skipped.
+	Retry pipeline.RetryPolicy
+	// Timeout bounds one shard attempt's wall clock (0 = none); on
+	// expiry the worker subprocess is killed and the attempt counts as
+	// failed.
+	Timeout time.Duration
+	// Tracer observes shard lifecycle (obs.KShardStart/KShardDone),
+	// worker restarts (obs.KWorkerRestart), and quarantines.
+	Tracer *obs.Tracer
+	// Command builds the worker subprocess (a test hook). nil re-executes
+	// this binary, relying on MaybeWorker at the top of its main.
+	Command func(ctx context.Context) *exec.Cmd
+	// Env appends extra environment variables to every worker (tests use
+	// it for deterministic crash injection; see MaybeWorker).
+	Env []string
+}
+
+// Check re-verifies every unit's graph across worker subprocesses and
+// returns one report per unit, in input order, each identical to what a
+// local triple.Check of that unit would produce. Quarantined shards
+// yield all-Skipped reports rather than an error; only malformed input
+// (a unit without raw ELF bytes) fails the whole call.
+func Check(ctx context.Context, units []Unit, opts Options) ([]*triple.Report, error) {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.ShardsPerWorker <= 0 {
+		opts.ShardsPerWorker = 4
+	}
+	if opts.Threads < 1 {
+		opts.Threads = 1
+	}
+	for i := range units {
+		if units[i].Graph == nil {
+			return nil, fmt.Errorf("dist: unit %q has no graph", units[i].Name)
+		}
+		if units[i].Img == nil || units[i].Img.Raw() == nil {
+			return nil, fmt.Errorf("dist: unit %q has no raw ELF bytes (image not built by image.Load)", units[i].Name)
+		}
+	}
+	if len(units) == 0 {
+		return nil, nil
+	}
+
+	nShards := opts.Workers * opts.ShardsPerWorker
+	if nShards > len(units) {
+		nShards = len(units)
+	}
+	reports := make([]*triple.Report, len(units))
+	shardErr := make([]error, nShards)
+	pipeline.ForEach(opts.Workers, nShards, func(s int) {
+		lo := s * len(units) / nShards
+		hi := (s + 1) * len(units) / nShards
+		shardErr[s] = runShard(ctx, s, units[lo:hi], reports[lo:hi], opts)
+	})
+	for _, err := range shardErr {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Re-emit one obs.KTheorem per merged verdict, as a local
+	// triple.Check with the same tracer would have: the theorem event
+	// stream (and the metrics aggregated from it) stays identical whether
+	// Step 2 ran in-process or distributed.
+	for _, rep := range reports {
+		for i := range rep.Theorems {
+			th := &rep.Theorems[i]
+			opts.Tracer.Theorem(rep.Func, string(th.Vertex), th.Addr, th.Verdict.String())
+		}
+	}
+	return reports, nil
+}
+
+// runShard serializes one shard, drives its worker through the retry
+// policy, and writes the merged reports into out (parallel to units).
+// Only encoding errors are returned; worker failures degrade to
+// quarantine.
+func runShard(ctx context.Context, s int, units []Unit, out []*triple.Report, opts Options) error {
+	name := fmt.Sprintf("shard-%d", s)
+	payload, err := EncodeShard(&Shard{Cfg: opts.Cfg, Threads: opts.Threads, Units: units})
+	if err != nil {
+		return fmt.Errorf("dist: %s: %w", name, err)
+	}
+	opts.Tracer.ShardStart(name, len(units))
+
+	start := time.Now()
+	attempts := opts.Retry.Attempts()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if ctx.Err() != nil {
+			lastErr = ctx.Err()
+			break
+		}
+		if attempt > 0 {
+			opts.Tracer.WorkerRestart(name, lastErr.Error(), attempt-1)
+			select {
+			case <-time.After(opts.Retry.Delay(attempt - 1)):
+			case <-ctx.Done():
+			}
+		}
+		res, err := runWorkerOnce(ctx, payload, attempt, opts)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(res.Reports) != len(units) {
+			lastErr = fmt.Errorf("worker returned %d reports for %d units", len(res.Reports), len(units))
+			continue
+		}
+		copy(out, res.Reports)
+		opts.Tracer.ShardDone(name, "ok", res.Queries, res.Hits, time.Since(start))
+		return nil
+	}
+
+	// Quarantine: every vertex the shard covered reports Skipped, so the
+	// merged output is explicit about the gap (AllProven stays false).
+	reason := fmt.Sprintf("not checked: shard quarantined after %d attempts: %v", attempts, lastErr)
+	for i := range units {
+		out[i] = skippedReport(units[i].Graph, reason)
+	}
+	opts.Tracer.Quarantine(name, "worker-failure", attempts)
+	opts.Tracer.ShardDone(name, "quarantined", 0, 0, time.Since(start))
+	return nil
+}
+
+// runWorkerOnce spawns one worker subprocess for one shard attempt.
+func runWorkerOnce(ctx context.Context, payload []byte, attempt int, opts Options) (*Result, error) {
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	var cmd *exec.Cmd
+	if opts.Command != nil {
+		cmd = opts.Command(ctx)
+	} else {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("locate worker executable: %w", err)
+		}
+		cmd = exec.CommandContext(ctx, exe)
+	}
+	cmd.Env = append(append(cmd.Environ(),
+		workerEnv+"=1",
+		fmt.Sprintf("%s=%d", attemptEnv, attempt)),
+		opts.Env...)
+	cmd.Stdin = bytes.NewReader(payload)
+	cmd.Stderr = os.Stderr
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("worker timed out: %w", ctx.Err())
+		}
+		return nil, fmt.Errorf("worker: %w", err)
+	}
+	res, err := DecodeResult(stdout.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("worker result: %w", err)
+	}
+	return res, nil
+}
+
+// skippedReport builds the explicit degraded report of a quarantined
+// shard: the same vertices, in the same canonical order, a local
+// triple.Check would have covered, every one Skipped.
+func skippedReport(g *hoare.Graph, reason string) *triple.Report {
+	vertices := g.SortedVertices()
+	rep := &triple.Report{Func: g.FuncName, Theorems: make([]triple.Theorem, len(vertices)),
+		Skipped: len(vertices)}
+	for i, v := range vertices {
+		rep.Theorems[i] = triple.Theorem{Vertex: v.ID, Addr: v.Addr, Verdict: triple.Skipped, Reason: reason}
+	}
+	return rep
+}

@@ -1,0 +1,305 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/elf64"
+	"repro/internal/image"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/sem"
+	"repro/internal/triple"
+	"repro/internal/x86"
+)
+
+// TestMain lets the coordinator re-execute this test binary as a shard
+// worker: MaybeWorker hijacks the process when the coordinator's
+// environment is set and never returns.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	os.Exit(m.Run())
+}
+
+const textBase = 0x401000
+
+// buildUnit assembles one function, wraps it in a minimal ELF, lifts it,
+// and returns it as a dist work unit.
+func buildUnit(t *testing.T, name string, build func(a *x86.Asm)) Unit {
+	t.Helper()
+	a := x86.NewAsm(textBase)
+	build(a)
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := elf64.NewExec(textBase)
+	eb.AddSection(".text", elf64.SHFExecinstr, textBase, code)
+	raw, err := eb.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := image.Load(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := core.New(im, core.DefaultConfig())
+	r := l.LiftFuncCtx(context.Background(), textBase, name)
+	if r.Status != core.StatusLifted {
+		t.Fatalf("lift %s: %s %v", name, r.Status, r.Reasons)
+	}
+	return Unit{Name: name, Img: im, Graph: r.Graph}
+}
+
+// testUnits builds a small corpus exercising straight-line code, a loop
+// with flags and comparisons, and stack memory traffic.
+func testUnits(t *testing.T) []Unit {
+	t.Helper()
+	return []Unit{
+		buildUnit(t, "straight", func(a *x86.Asm) {
+			a.I(x86.PUSH, x86.RegOp(x86.RBP, 8))
+			a.I(x86.MOV, x86.RegOp(x86.RBP, 8), x86.RegOp(x86.RSP, 8))
+			a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.RegOp(x86.RDI, 8))
+			a.I(x86.POP, x86.RegOp(x86.RBP, 8))
+			a.I(x86.RET)
+		}),
+		buildUnit(t, "loop", func(a *x86.Asm) {
+			a.I(x86.XOR, x86.RegOp(x86.RAX, 4), x86.RegOp(x86.RAX, 4))
+			a.Label("loop")
+			a.I(x86.ADD, x86.RegOp(x86.RAX, 8), x86.ImmOp(1, 1))
+			a.I(x86.CMP, x86.RegOp(x86.RAX, 8), x86.ImmOp(10, 1))
+			a.Jcc(x86.CondB, "loop")
+			a.I(x86.RET)
+		}),
+		buildUnit(t, "spill", func(a *x86.Asm) {
+			a.I(x86.SUB, x86.RegOp(x86.RSP, 8), x86.ImmOp(0x18, 1))
+			a.I(x86.MOV, x86.MemOp(x86.RSP, x86.RegNone, 1, 8, 8), x86.RegOp(x86.RDI, 8))
+			a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.MemOp(x86.RSP, x86.RegNone, 1, 8, 8))
+			a.I(x86.ADD, x86.RegOp(x86.RSP, 8), x86.ImmOp(0x18, 1))
+			a.I(x86.RET)
+		}),
+	}
+}
+
+// oracle checks every unit in-process, exactly as the worker does
+// (serial, default config), giving the distributed runs their expected
+// verdicts.
+func oracle(units []Unit) []*triple.Report {
+	out := make([]*triple.Report, len(units))
+	for i, u := range units {
+		out[i] = triple.Check(context.Background(), u.Img, u.Graph, sem.DefaultConfig())
+	}
+	return out
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	units := testUnits(t)
+	s := &Shard{Cfg: sem.DefaultConfig(), Threads: 2, Units: units}
+	buf, err := EncodeShard(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeShard(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Threads != 2 {
+		t.Fatalf("threads: %d", dec.Threads)
+	}
+	if dec.Cfg.MM != s.Cfg.MM || dec.Cfg.MaxTableEntries != s.Cfg.MaxTableEntries ||
+		dec.Cfg.AssumeBaseSeparation != s.Cfg.AssumeBaseSeparation {
+		t.Fatalf("config mismatch: %+v vs %+v", dec.Cfg, s.Cfg)
+	}
+	if len(dec.Units) != len(units) {
+		t.Fatalf("units: %d", len(dec.Units))
+	}
+	for i, u := range dec.Units {
+		if u.Name != units[i].Name {
+			t.Fatalf("unit %d name %q", i, u.Name)
+		}
+		for id, v := range units[i].Graph.Vertices {
+			lv := u.Graph.Vertices[id]
+			if v.State == nil {
+				continue
+			}
+			if lv == nil || lv.State == nil || lv.State.Pred.Key() != v.State.Pred.Key() {
+				t.Fatalf("unit %d vertex %s predicate drift", i, id)
+			}
+		}
+	}
+	// serialize → deserialize → re-serialize is the byte identity.
+	buf2, err := EncodeShard(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("shard re-serialization differs")
+	}
+}
+
+func TestShardDecodeRejectsCorruption(t *testing.T) {
+	units := testUnits(t)[:1]
+	buf, err := EncodeShard(&Shard{Cfg: sem.DefaultConfig(), Threads: 1, Units: units})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeShard(buf[:len(buf)/2]); err == nil {
+		t.Fatal("truncated shard accepted")
+	}
+	if _, err := DecodeShard(append(append([]byte(nil), buf...), 0xff)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xff
+	if _, err := DecodeShard(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestEncodeShardRequiresRawBytes(t *testing.T) {
+	u := testUnits(t)[0]
+	u.Img = image.FromFile(u.Img.File()) // strips the raw bytes
+	if _, err := EncodeShard(&Shard{Cfg: sem.DefaultConfig(), Units: []Unit{u}}); err == nil {
+		t.Fatal("unit without raw ELF accepted")
+	}
+	if _, err := Check(context.Background(), []Unit{u}, Options{Workers: 1}); err == nil {
+		t.Fatal("Check without raw ELF accepted")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	units := testUnits(t)
+	r := &Result{Queries: 42, Hits: 17, Reports: oracle(units)}
+	dec, err := DecodeResult(EncodeResult(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, dec) {
+		t.Fatalf("result drift:\n%+v\nvs\n%+v", r, dec)
+	}
+}
+
+// TestDistMatchesOracle is the end-to-end determinism property: the
+// merged verdicts of a multi-process run equal the single-process run's,
+// report for report, theorem for theorem.
+func TestDistMatchesOracle(t *testing.T) {
+	units := testUnits(t)
+	want := oracle(units)
+	got, err := Check(context.Background(), units, Options{
+		Workers: 2,
+		Cfg:     sem.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("distributed verdicts differ from oracle:\n%+v\nvs\n%+v", want, got)
+	}
+}
+
+// TestWorkerCrashRecovery injects one crash per shard attempt below the
+// threshold: every worker dies once, every shard retries, and the merged
+// verdicts still match the single-process oracle exactly.
+func TestWorkerCrashRecovery(t *testing.T) {
+	units := testUnits(t)
+	want := oracle(units)
+	ring := obs.NewRing(256)
+	got, err := Check(context.Background(), units, Options{
+		Workers: 2,
+		Cfg:     sem.DefaultConfig(),
+		Retry:   pipeline.RetryPolicy{MaxAttempts: 2},
+		Tracer:  obs.NewTracer(ring),
+		Env:     []string{fmt.Sprintf("%s=1", crashEnv)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("verdicts after crash recovery differ from oracle")
+	}
+	restarts := 0
+	for _, e := range ring.Events() {
+		if e.Kind == obs.KWorkerRestart {
+			restarts++
+		}
+	}
+	if restarts == 0 {
+		t.Fatal("no worker restarts observed despite injected crashes")
+	}
+}
+
+// TestWorkerQuarantine exhausts the retry budget: the run degrades to
+// explicit Skipped verdicts instead of failing or claiming success.
+func TestWorkerQuarantine(t *testing.T) {
+	units := testUnits(t)
+	ring := obs.NewRing(256)
+	got, err := Check(context.Background(), units, Options{
+		Workers: 2,
+		Cfg:     sem.DefaultConfig(),
+		Retry:   pipeline.RetryPolicy{MaxAttempts: 2},
+		Tracer:  obs.NewTracer(ring),
+		Env:     []string{fmt.Sprintf("%s=99", crashEnv)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range got {
+		if rep.AllProven() {
+			t.Fatalf("quarantined unit %d claims success", i)
+		}
+		if rep.Skipped != len(rep.Theorems) || rep.Skipped == 0 {
+			t.Fatalf("unit %d: %d skipped of %d", i, rep.Skipped, len(rep.Theorems))
+		}
+		for _, th := range rep.Theorems {
+			if !strings.Contains(th.Reason, "quarantined") {
+				t.Fatalf("reason %q lacks quarantine context", th.Reason)
+			}
+		}
+	}
+	quarantines := 0
+	for _, e := range ring.Events() {
+		if e.Kind == obs.KQuarantine {
+			quarantines++
+		}
+	}
+	if quarantines == 0 {
+		t.Fatal("no quarantine events observed")
+	}
+}
+
+// TestRunWorkerInProcess drives the worker entry point directly (no
+// subprocess): shard in, result out, verdicts equal to the oracle.
+func TestRunWorkerInProcess(t *testing.T) {
+	units := testUnits(t)
+	buf, err := EncodeShard(&Shard{Cfg: sem.DefaultConfig(), Threads: 2, Units: units})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := RunWorker(bytes.NewReader(buf), &out); err != nil {
+		t.Fatal(err)
+	}
+	res, err := DecodeResult(out.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oracle(units), res.Reports) {
+		t.Fatal("worker verdicts differ from oracle")
+	}
+	if res.Queries == 0 {
+		t.Fatal("worker reported no solver queries")
+	}
+}
+
+func TestCheckEmptyUnits(t *testing.T) {
+	got, err := Check(context.Background(), nil, Options{Workers: 2})
+	if err != nil || got != nil {
+		t.Fatalf("empty check: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,291 @@
+// This file defines the two containers of the coordinator↔worker
+// protocol. Both are built on internal/wire and are deterministic
+// byte-for-byte; ARCHITECTURE.md ("Distributed verification") is the
+// normative description.
+//
+// Shard container (coordinator → worker stdin; integers are uvarints):
+//
+//	shard  = magic "HGSD" version
+//	         threads
+//	         cfg                             semantic configuration
+//	         binary-count (elf-bytes)*       length-prefixed raw ELFs
+//	         expr-table                      expr.AppendTable
+//	         unit-count unit*
+//	cfg    = fork-unknown assume-partial max-models max-table base-sep
+//	unit   = name binary-index graph-record  hoare.AppendWire
+//
+// Binaries are deduplicated by image identity — units of the same binary
+// reference one ELF blob — and the expression table is shared by every
+// graph record in the shard, so subterms common across graphs (stack
+// frames, globals) are emitted once, by fingerprint-backed pointer
+// identity.
+//
+// Result container (worker stdout → coordinator):
+//
+//	result  = magic "HGRS" version
+//	          queries hits                   shard solver-cache totals
+//	          report-count report*
+//	report  = func theorem-count theorem*
+//	theorem = vertex addr verdict reason
+//
+// Per-verdict counts are not transmitted; the decoder recomputes them
+// from the theorems, so the two can never disagree.
+
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/hoare"
+	"repro/internal/image"
+	"repro/internal/sem"
+	"repro/internal/triple"
+	"repro/internal/wire"
+)
+
+// Version is the protocol version stamped into (and required of) both
+// containers; coordinator and worker are always the same executable, so a
+// mismatch means stream corruption, not skew — but the check makes the
+// failure crisp either way.
+const Version = 1
+
+const (
+	shardMagic  = "HGSD"
+	resultMagic = "HGRS"
+)
+
+// Shard is the decoded form of one shard container: the work units a
+// worker checks, the semantic configuration to check them under, and the
+// intra-worker vertex parallelism.
+type Shard struct {
+	Cfg     sem.Config // SolverCache and Tracer are never serialized
+	Threads int
+	Units   []Unit
+}
+
+// Result is the decoded form of one result container: per-unit reports in
+// shard order plus the shard solver cache's totals (for the coordinator's
+// obs.KShardDone metrics).
+type Result struct {
+	Queries uint64
+	Hits    uint64
+	Reports []*triple.Report
+}
+
+// EncodeShard serializes the shard. Every unit's image must carry its raw
+// ELF bytes. Encoding is deterministic in the units, and decode followed
+// by re-encode is the byte identity.
+func EncodeShard(s *Shard) ([]byte, error) {
+	buf := append([]byte(nil), shardMagic...)
+	buf = wire.AppendUvarint(buf, Version)
+	buf = wire.AppendUvarint(buf, uint64(s.Threads))
+	buf = appendBool(buf, s.Cfg.MM.ForkUnknown)
+	buf = appendBool(buf, s.Cfg.MM.AssumePartialImpossible)
+	buf = wire.AppendUvarint(buf, uint64(s.Cfg.MM.MaxModels))
+	buf = wire.AppendUvarint(buf, uint64(s.Cfg.MaxTableEntries))
+	buf = appendBool(buf, s.Cfg.AssumeBaseSeparation)
+
+	// Binaries, deduplicated by image identity in first-seen unit order.
+	binIdx := map[*image.Image]uint64{}
+	var bins [][]byte
+	for i := range s.Units {
+		img := s.Units[i].Img
+		if _, ok := binIdx[img]; ok {
+			continue
+		}
+		raw := img.Raw()
+		if raw == nil {
+			return nil, fmt.Errorf("unit %q: image has no raw ELF bytes", s.Units[i].Name)
+		}
+		binIdx[img] = uint64(len(bins))
+		bins = append(bins, raw)
+	}
+	buf = wire.AppendUvarint(buf, uint64(len(bins)))
+	for _, b := range bins {
+		buf = wire.AppendBytes(buf, b)
+	}
+
+	t := expr.NewTable()
+	for i := range s.Units {
+		hoare.CollectWireExprs(t, s.Units[i].Graph)
+	}
+	buf = expr.AppendTable(buf, t)
+
+	buf = wire.AppendUvarint(buf, uint64(len(s.Units)))
+	for i := range s.Units {
+		buf = wire.AppendString(buf, s.Units[i].Name)
+		buf = wire.AppendUvarint(buf, binIdx[s.Units[i].Img])
+		buf = hoare.AppendWire(buf, t, s.Units[i].Graph)
+	}
+	return buf, nil
+}
+
+// DecodeShard parses one shard container, re-loading every binary and
+// rebuilding every graph (with interned, pointer-canonical expressions).
+func DecodeShard(data []byte) (*Shard, error) {
+	d := wire.NewDecoder(data)
+	if string(d.Bytes(uint64(len(shardMagic)), "shard magic")) != shardMagic {
+		d.Failf("bad shard magic")
+	}
+	if v := d.Uvarint("shard version"); d.Err() == nil && v != Version {
+		d.Failf("shard version %d, want %d", v, Version)
+	}
+	s := &Shard{}
+	s.Threads = int(d.Uvarint("threads"))
+	s.Cfg.MM.ForkUnknown = decodeBool(d, "fork-unknown")
+	s.Cfg.MM.AssumePartialImpossible = decodeBool(d, "assume-partial")
+	s.Cfg.MM.MaxModels = int(d.Uvarint("max-models"))
+	s.Cfg.MaxTableEntries = int(d.Uvarint("max-table"))
+	s.Cfg.AssumeBaseSeparation = decodeBool(d, "base-separation")
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+
+	nBins := d.Len("binary")
+	imgs := make([]*image.Image, 0, nBins)
+	for i := 0; i < nBins && d.Err() == nil; i++ {
+		raw := d.ByteSlice("binary")
+		if d.Err() != nil {
+			break
+		}
+		img, err := image.Load(raw)
+		if err != nil {
+			d.Failf("binary %d: %v", i, err)
+			break
+		}
+		imgs = append(imgs, img)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+
+	nodes, err := expr.DecodeTable(d)
+	if err != nil {
+		return nil, err
+	}
+
+	nUnits := d.Len("unit")
+	s.Units = make([]Unit, 0, nUnits)
+	for i := 0; i < nUnits && d.Err() == nil; i++ {
+		name := d.String("unit name")
+		bi := d.Uvarint("unit binary index")
+		if d.Err() != nil {
+			break
+		}
+		if bi >= uint64(len(imgs)) {
+			d.Failf("unit %q: binary index %d out of range", name, bi)
+			break
+		}
+		g, err := hoare.DecodeWire(d, nodes, imgs[bi])
+		if err != nil {
+			return nil, err
+		}
+		s.Units = append(s.Units, Unit{Name: name, Img: imgs[bi], Graph: g})
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if rest := d.Rest(); len(rest) != 0 {
+		d.Failf("%d trailing bytes after shard", len(rest))
+		return nil, d.Err()
+	}
+	return s, nil
+}
+
+// EncodeResult serializes a worker's verdicts.
+func EncodeResult(r *Result) []byte {
+	buf := append([]byte(nil), resultMagic...)
+	buf = wire.AppendUvarint(buf, Version)
+	buf = wire.AppendUvarint(buf, r.Queries)
+	buf = wire.AppendUvarint(buf, r.Hits)
+	buf = wire.AppendUvarint(buf, uint64(len(r.Reports)))
+	for _, rep := range r.Reports {
+		buf = wire.AppendString(buf, rep.Func)
+		buf = wire.AppendUvarint(buf, uint64(len(rep.Theorems)))
+		for _, th := range rep.Theorems {
+			buf = wire.AppendString(buf, string(th.Vertex))
+			buf = wire.AppendUvarint(buf, th.Addr)
+			buf = append(buf, byte(th.Verdict))
+			buf = wire.AppendString(buf, th.Reason)
+		}
+	}
+	return buf
+}
+
+// DecodeResult parses one result container, recomputing each report's
+// per-verdict counts from its theorems.
+func DecodeResult(data []byte) (*Result, error) {
+	d := wire.NewDecoder(data)
+	if string(d.Bytes(uint64(len(resultMagic)), "result magic")) != resultMagic {
+		d.Failf("bad result magic")
+	}
+	if v := d.Uvarint("result version"); d.Err() == nil && v != Version {
+		d.Failf("result version %d, want %d", v, Version)
+	}
+	r := &Result{}
+	r.Queries = d.Uvarint("solver queries")
+	r.Hits = d.Uvarint("solver hits")
+	nReports := d.Len("report")
+	for i := 0; i < nReports && d.Err() == nil; i++ {
+		rep := &triple.Report{Func: d.String("report func")}
+		nThs := d.Len("theorem")
+		for j := 0; j < nThs && d.Err() == nil; j++ {
+			th := triple.Theorem{
+				Vertex: hoare.VertexID(d.String("theorem vertex")),
+				Addr:   d.Uvarint("theorem addr"),
+			}
+			verdict := d.Byte("theorem verdict")
+			th.Reason = d.String("theorem reason")
+			if d.Err() != nil {
+				break
+			}
+			if verdict > byte(triple.Skipped) {
+				d.Failf("theorem verdict %d out of range", verdict)
+				break
+			}
+			th.Verdict = triple.Verdict(verdict)
+			rep.Theorems = append(rep.Theorems, th)
+			switch th.Verdict {
+			case triple.Proven:
+				rep.Proven++
+			case triple.Assumed:
+				rep.Assumed++
+			case triple.Skipped:
+				rep.Skipped++
+			default:
+				rep.Failed++
+			}
+		}
+		if d.Err() == nil {
+			r.Reports = append(r.Reports, rep)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if rest := d.Rest(); len(rest) != 0 {
+		d.Failf("%d trailing bytes after result", len(rest))
+		return nil, d.Err()
+	}
+	return r, nil
+}
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func decodeBool(d *wire.Decoder, what string) bool {
+	switch d.Byte(what) {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.Failf("bad %s flag", what)
+		return false
+	}
+}

@@ -1,0 +1,87 @@
+// Worker side of the coordinator↔worker protocol: a shard container on
+// stdin, a result container on stdout. Anything human-readable goes to
+// stderr, keeping stdout a pure protocol stream.
+
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/solver"
+	"repro/internal/triple"
+)
+
+// The coordinator's worker environment. workerEnv selects worker mode in
+// MaybeWorker; attemptEnv carries the shard attempt's 0-based index
+// (diagnostics, and the crash-injection hook below).
+const (
+	workerEnv  = "REPRO_HG_WORKER"
+	attemptEnv = "REPRO_HG_ATTEMPT"
+	// crashEnv is a test hook for deterministic fault injection: when set
+	// to n, a worker whose attempt index is < n exits with status 3
+	// before reading its shard, so retry and quarantine paths are
+	// exercised without real faults (the same philosophy as
+	// internal/faultinject).
+	crashEnv = "REPRO_HG_WORKER_CRASH_BELOW"
+)
+
+// MaybeWorker turns the current process into a shard worker when the
+// coordinator's environment variable is set, never returning in that
+// case. Every binary that may act as a worker (xenbench, hgprove, test
+// binaries) calls it first thing in main — before flag parsing, so a
+// worker re-exec never trips over the parent's command line.
+func MaybeWorker() {
+	if os.Getenv(workerEnv) != "1" {
+		return
+	}
+	if n, err := strconv.Atoi(os.Getenv(crashEnv)); err == nil {
+		attempt, _ := strconv.Atoi(os.Getenv(attemptEnv))
+		if attempt < n {
+			fmt.Fprintf(os.Stderr, "hg worker: injected crash (attempt %d < %d)\n", attempt, n)
+			os.Exit(3)
+		}
+	}
+	if err := RunWorker(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hg worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// RunWorker executes one worker lifetime: decode the shard from r, check
+// every unit, write the result container to w. All of the shard's checks
+// share one solver cache — the per-shard query batching the coordinator
+// shards for — whose totals are returned in the result. The cache is
+// exact (verdicts are pure in the cache key), so batching never changes a
+// verdict, only the time to reach it.
+func RunWorker(r io.Reader, w io.Writer) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("read shard: %w", err)
+	}
+	s, err := DecodeShard(data)
+	if err != nil {
+		return fmt.Errorf("decode shard: %w", err)
+	}
+	cache := solver.NewCache()
+	cfg := s.Cfg
+	cfg.SolverCache = cache
+	cfg.Tracer = nil
+
+	res := &Result{Reports: make([]*triple.Report, len(s.Units))}
+	for i := range s.Units {
+		res.Reports[i] = triple.Check(context.Background(), s.Units[i].Img, s.Units[i].Graph,
+			cfg, triple.Workers(s.Threads))
+	}
+	st := cache.Stats()
+	res.Queries = st.Queries
+	res.Hits = st.Hits
+	if _, err := w.Write(EncodeResult(res)); err != nil {
+		return fmt.Errorf("write result: %w", err)
+	}
+	return nil
+}

@@ -32,6 +32,7 @@ type Image struct {
 	textLo uint64
 	textHi uint64
 	plt    map[uint64]string
+	raw    []byte
 
 	cacheMu  sync.RWMutex
 	instCach map[uint64]x86.Inst
@@ -45,7 +46,9 @@ func Load(data []byte) (*Image, error) {
 	if err != nil {
 		return nil, fmt.Errorf("image: load: %w", err)
 	}
-	return FromFile(f), nil
+	im := FromFile(f)
+	im.raw = data
+	return im, nil
 }
 
 // FromFile wraps an already-parsed file.
@@ -71,6 +74,11 @@ func FromFile(f *elf64.File) *Image {
 
 // File exposes the underlying parsed ELF.
 func (im *Image) File() *elf64.File { return im.file }
+
+// Raw returns the ELF bytes the image was loaded from, or nil for an
+// image built with FromFile (which never saw the raw file). Distribution
+// needs the bytes to re-load the image inside a worker subprocess.
+func (im *Image) Raw() []byte { return im.raw }
 
 // Entry returns the binary's entry point.
 func (im *Image) Entry() uint64 { return im.file.Header.Entry }

@@ -118,17 +118,21 @@ type RetryPolicy struct {
 	TimeoutScale float64
 }
 
-// attempts normalises MaxAttempts.
-func (p RetryPolicy) attempts() int {
+// Attempts normalises MaxAttempts: the total number of attempts a task
+// gets, at least 1. Exported so other schedulers with the same
+// retry-then-quarantine semantics (the dist coordinator's worker
+// subprocesses) share the policy's interpretation.
+func (p RetryPolicy) Attempts() int {
 	if p.MaxAttempts < 1 {
 		return 1
 	}
 	return p.MaxAttempts
 }
 
-// backoff returns the delay before the given retry (attempt is the
-// 0-based index of the attempt that just failed).
-func (p RetryPolicy) backoff(attempt int) time.Duration {
+// Delay returns the backoff before the retry that follows the given
+// failed attempt (0-based index): Backoff doubled per retry, capped by
+// MaxBackoff when set.
+func (p RetryPolicy) Delay(attempt int) time.Duration {
 	d := p.Backoff << attempt
 	if p.MaxBackoff > 0 && d > p.MaxBackoff {
 		d = p.MaxBackoff
@@ -374,7 +378,7 @@ func runOne(ctx context.Context, t Task, idx int, opts Options) Result {
 		return finish(Result{Name: t.Name, Index: idx, Status: core.StatusCancelled, Attempts: 0})
 	}
 	tr.TaskStart(t.Name)
-	maxAttempts := opts.Retry.attempts()
+	maxAttempts := opts.Retry.Attempts()
 	var retryStats Stats
 	for attempt := 0; ; attempt++ {
 		r := runAttempt(ctx, t, idx, opts, tr, attempt)
@@ -391,7 +395,7 @@ func runOne(ctx context.Context, t Task, idx int, opts Options) Result {
 			return finish(r)
 		}
 		retryStats.Add(r.Stats)
-		backoff := opts.Retry.backoff(attempt)
+		backoff := opts.Retry.Delay(attempt)
 		tr.Retry(t.Name, r.Status.String(), attempt, backoff)
 		if backoff > 0 {
 			timer := time.NewTimer(backoff)
