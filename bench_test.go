@@ -19,6 +19,7 @@ package repro
 
 import (
 	"context"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -112,6 +113,36 @@ func BenchmarkTable1_lowlevel(b *testing.B)     { benchDir(b, "lowlevel", 1) }
 // BenchmarkTable1_lib_parallel measures the pipeline's speed-up on the
 // largest directory with the pool at full width.
 func BenchmarkTable1_lib_parallel(b *testing.B) { benchDir(b, "lib", runtime.NumCPU()) }
+
+// BenchmarkTable1_lib_warmstore re-runs the largest directory against a
+// pre-populated Hoare-graph store (internal/hgstore): every task must hit,
+// so the timed loop performs zero lifts and the ratio to
+// BenchmarkTable1_lib is the incremental-lifting payoff recorded in
+// BENCH_PR7.json.
+func BenchmarkTable1_lib_warmstore(b *testing.B) {
+	dir := table1Dirs(b)["lib"]
+	st, err := lift.OpenStore(filepath.Join(b.TempDir(), "graphs.hgcs"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold := lift.Run(context.Background(), lift.UnitRequests(dir.Units),
+		lift.Jobs(1), lift.WithStore(st))
+	if cold.Panics != 0 {
+		b.Fatalf("%d lifts panicked", cold.Panics)
+	}
+	var sum *lift.Summary
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum = lift.Run(context.Background(), lift.UnitRequests(dir.Units),
+			lift.Jobs(1), lift.WithStore(st))
+		if sum.StoreMisses != 0 {
+			b.Fatalf("warm run lifted: %d misses over %d units",
+				sum.StoreMisses, len(dir.Units))
+		}
+	}
+	b.ReportMetric(float64(sum.StoreHits), "hits")
+}
 
 // benchTable2 lifts one CoreUtils-shaped binary and proves every vertex —
 // the full Step 1 + Step 2 pipeline of Table 2.

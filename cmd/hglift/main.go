@@ -27,6 +27,12 @@
 //	-checkpoint f      batch mode: journal completed lifts to f
 //	-resume            restore completed lifts from -checkpoint instead of
 //	                   truncating it; only the remainder is lifted
+//	-store f           cache lifted Hoare graphs in the content-addressed
+//	                   store at f; re-lifting an unchanged binary decodes
+//	                   the cached graphs instead of exploring
+//
+// -o writes the single-function graph as .hg text; -obin writes the
+// compact binary container that hgprove/hglint auto-detect.
 //
 // Observability flags apply to every form:
 //
@@ -49,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hgstore"
 	"repro/internal/hoare"
 	"repro/internal/image"
 	"repro/internal/obs"
@@ -106,6 +113,7 @@ func main() {
 	thy := flag.Bool("thy", false, "print the Isabelle/HOL-style theory export")
 	disasm := flag.Bool("disasm", false, "print the recovered disassembly")
 	hgOut := flag.String("o", "", "write the lifted graph to this .hg file (requires -func)")
+	binOut := flag.String("obin", "", "write the lifted graph to this file in the compact binary format (requires -func)")
 	dotOut := flag.String("dot", "", "write a Graphviz rendering to this file (requires -func)")
 	jobs := flag.Int("jobs", 0, "batch mode: parallel lift workers (0 = all CPUs)")
 	timeout := flag.Duration("timeout", 0, "per-lift wall-clock budget (0 = none)")
@@ -113,6 +121,7 @@ func main() {
 	retryBackoff := flag.Duration("retry-backoff", 0, "delay before the first retry (doubles per retry)")
 	ckptPath := flag.String("checkpoint", "", "batch mode: journal completed lifts to this file")
 	resume := flag.Bool("resume", false, "restore completed lifts from -checkpoint instead of truncating")
+	storePath := flag.String("store", "", "cache lifted Hoare graphs in the store at this file")
 	keepGoing := flag.Bool("keep-going", false, "exit 0 even when lifts panicked, timed out, errored or were quarantined")
 	traceOut := flag.String("trace", "", "write a JSONL event trace to this file")
 	showMetrics := flag.Bool("metrics", false, "print the aggregated metrics registry on exit")
@@ -137,15 +146,26 @@ func main() {
 	defer stopSignals()
 	obsv := newObserver(*traceOut, *showMetrics)
 	retry := lift.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff}
+	var store *lift.Store
+	if *storePath != "" {
+		var err error
+		if store, err = lift.OpenStore(*storePath); err != nil {
+			fatal(err)
+		}
+		if n := store.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "hglift: store: dropped %d corrupt or stale-version records\n", n)
+		}
+	}
 
 	if flag.NArg() > 1 {
-		if *funcSpec != "" || *dump || *thy || *disasm || *hgOut != "" || *dotOut != "" {
+		if *funcSpec != "" || *dump || *thy || *disasm || *hgOut != "" || *binOut != "" || *dotOut != "" {
 			fmt.Fprintln(os.Stderr, "hglift: detail flags apply to a single binary only")
 			os.Exit(2)
 		}
 		liftBatch(ctx, flag.Args(), batchConfig{
 			jobs: *jobs, timeout: *timeout, retry: retry,
 			ckptPath: *ckptPath, resume: *resume, keepGoing: *keepGoing,
+			store: store,
 		}, obsv)
 		return
 	}
@@ -162,6 +182,9 @@ func main() {
 		fatal(err)
 	}
 	opts := append([]lift.Option{lift.Jobs(1), lift.Timeout(*timeout), lift.Retry(retry)}, obsv.opts...)
+	if store != nil {
+		opts = append(opts, lift.WithStore(store))
+	}
 
 	if *funcSpec == "" {
 		res := lift.One(ctx, lift.Binary(flag.Arg(0), im), opts...)
@@ -199,6 +222,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("graph written to", *hgOut)
+	}
+	if fr.Graph != nil && *binOut != "" {
+		if err := os.WriteFile(*binOut, hgstore.MarshalGraph(fr.Graph), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("binary graph written to", *binOut)
 	}
 	if fr.Graph != nil && *dotOut != "" {
 		if err := os.WriteFile(*dotOut, []byte(fr.Graph.ToDOT()), 0o644); err != nil {
@@ -242,6 +271,7 @@ type batchConfig struct {
 	ckptPath  string
 	resume    bool
 	keepGoing bool
+	store     *lift.Store
 }
 
 // liftBatch lifts every named binary from its entry point through the
@@ -263,12 +293,13 @@ func liftBatch(ctx context.Context, paths []string, cfg batchConfig, obsv *obser
 	}
 	var ckpt *lift.Checkpoint
 	if cfg.ckptPath != "" {
-		var err error
-		if cfg.resume {
-			ckpt, err = lift.ResumeCheckpoint(cfg.ckptPath)
-		} else {
-			ckpt, err = lift.NewCheckpoint(cfg.ckptPath)
+		if !cfg.resume {
+			if err := os.Remove(cfg.ckptPath); err != nil && !os.IsNotExist(err) {
+				fatal(err)
+			}
 		}
+		var err error
+		ckpt, err = lift.OpenCheckpoint(cfg.ckptPath)
 		if err != nil {
 			fatal(err)
 		}
@@ -280,6 +311,9 @@ func liftBatch(ctx context.Context, paths []string, cfg batchConfig, obsv *obser
 		lift.Jobs(cfg.jobs), lift.Timeout(cfg.timeout),
 		lift.Retry(cfg.retry), lift.WithCheckpoint(ckpt),
 	}, obsv.opts...)
+	if cfg.store != nil {
+		opts = append(opts, lift.WithStore(cfg.store))
+	}
 	sum := lift.Run(ctx, reqs, opts...)
 	for _, r := range sum.Results {
 		note := ""

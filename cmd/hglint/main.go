@@ -12,7 +12,8 @@
 //
 // Without flags the binary is lifted end to end from its entry point and
 // every successfully lifted graph is linted. With -func only that
-// function is lifted; with -hg a previously exported .hg graph is loaded
+// function is lifted; with -hg a previously exported graph — .hg text or
+// the compact binary container, auto-detected by magic — is loaded
 // against the binary and linted without lifting. -json emits the
 // machine-readable report; -rules restricts the run to a comma-separated
 // rule subset; -list prints the rule catalog and exits.
@@ -31,14 +32,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hglint"
-	"repro/internal/hoare"
+	"repro/internal/hgstore"
 	"repro/internal/image"
 	"repro/internal/solver"
 )
 
 func main() {
 	funcSpec := flag.String("func", "", "lint a single function: hex address or symbol name")
-	hgIn := flag.String("hg", "", "lint a previously exported .hg graph against the binary")
+	hgIn := flag.String("hg", "", "lint a previously exported graph (.hg text or compact binary, auto-detected) against the binary")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON reports")
 	ruleList := flag.String("rules", "", "comma-separated rule subset (default: all)")
 	list := flag.Bool("list", false, "print the rule catalog and exit")
@@ -102,7 +103,7 @@ func collect(im *image.Image, hgIn, funcSpec string, opts []hglint.Option) ([]*h
 		if err != nil {
 			fatal(err)
 		}
-		g, err := hoare.Load(im, hg)
+		g, err := hgstore.LoadGraph(im, hg)
 		if err != nil {
 			fatal(err)
 		}

@@ -26,7 +26,7 @@ import (
 	"repro"
 	"repro/internal/dist"
 	"repro/internal/hglint"
-	"repro/internal/hoare"
+	"repro/internal/hgstore"
 	"repro/internal/image"
 	"repro/internal/sem"
 	"repro/internal/triple"
@@ -36,7 +36,7 @@ func main() {
 	dist.MaybeWorker()
 	funcSpec := flag.String("func", "", "verify a single function: hex address or symbol name")
 	thyOut := flag.String("thy", "", "write the theory export to this file")
-	hgIn := flag.String("hg", "", "verify a previously exported .hg graph against the binary")
+	hgIn := flag.String("hg", "", "verify a previously exported graph (.hg text or compact binary, auto-detected) against the binary")
 	worker := flag.Bool("worker", false, "run as a dist shard worker: shard on stdin, result on stdout (hidden; used by the coordinator)")
 	flag.Parse()
 	if *worker {
@@ -63,7 +63,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		g, err := hoare.Load(im, hg)
+		g, err := hgstore.LoadGraph(im, hg)
 		if err != nil {
 			fatal(err)
 		}

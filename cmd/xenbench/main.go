@@ -30,6 +30,9 @@
 //	-checkpoint f      journal completed lifts to f (crash-safe, atomic)
 //	-resume            restore completed lifts from -checkpoint instead of
 //	                   truncating it; only the remainder is lifted
+//	-store f           cache lifted Hoare graphs in the content-addressed
+//	                   store at f; a warm re-run decodes instead of lifting
+//	                   (stderr reports the hit/miss split)
 //	-keep-going        exit 0 even when lifts panicked, timed out, errored,
 //	                   were cancelled or were quarantined
 //
@@ -83,10 +86,13 @@ type runner struct {
 	timeout time.Duration
 	retry   lift.RetryPolicy
 	ckpt    *lift.Checkpoint
+	store   *lift.Store
+	flip    string
 	faults  *faultinject.Injector
 	tr      *obs.Tracer
 
 	panics, timeouts, errors, cancelled, quarantined int
+	storeHits, storeMisses                           int
 }
 
 // opts assembles the facade options for one sweep; scope namespaces the
@@ -98,6 +104,9 @@ func (rn *runner) opts(scope string) []lift.Option {
 	}
 	if rn.ckpt != nil {
 		opts = append(opts, lift.WithCheckpoint(rn.ckpt.Scoped(scope)))
+	}
+	if rn.store != nil {
+		opts = append(opts, lift.WithStore(rn.store))
 	}
 	return opts
 }
@@ -111,6 +120,8 @@ func (rn *runner) absorb(sum *lift.Summary) {
 	rn.errors += sum.Errors
 	rn.cancelled += sum.Cancelled
 	rn.quarantined += sum.Quarantined
+	rn.storeHits += sum.StoreHits
+	rn.storeMisses += sum.StoreMisses
 }
 
 // healthy reports whether every lift completed without infrastructure
@@ -137,6 +148,8 @@ func main() {
 	retryBackoff := flag.Duration("retry-backoff", 0, "delay before the first retry (doubles per retry)")
 	ckptPath := flag.String("checkpoint", "", "journal completed lifts to this file")
 	resume := flag.Bool("resume", false, "restore completed lifts from -checkpoint instead of truncating")
+	storePath := flag.String("store", "", "cache lifted Hoare graphs in the store at this file")
+	flipUnit := flag.String("flip", "", "flip one immediate byte in the named corpus unit's function before lifting (store-invalidation smoke)")
 	keepGoing := flag.Bool("keep-going", false, "exit 0 even when lifts panicked, timed out, errored or were quarantined")
 	faultSeed := flag.Int64("fault-seed", 0, "fault injector decision seed (CI smoke)")
 	faultPanic := flag.Float64("fault-panic", 0, "probability a lift attempt panics (CI smoke)")
@@ -194,12 +207,13 @@ func main() {
 		})
 	}
 	if *ckptPath != "" {
-		var err error
-		if *resume {
-			rn.ckpt, err = lift.ResumeCheckpoint(*ckptPath)
-		} else {
-			rn.ckpt, err = lift.NewCheckpoint(*ckptPath)
+		if !*resume {
+			if err := os.Remove(*ckptPath); err != nil && !os.IsNotExist(err) {
+				fatal(err)
+			}
 		}
+		var err error
+		rn.ckpt, err = lift.OpenCheckpoint(*ckptPath)
 		if err != nil {
 			fatal(err)
 		}
@@ -210,6 +224,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "xenbench: checkpoint: restoring %d completed lifts\n", n)
 		}
 	}
+	if *storePath != "" {
+		st, err := lift.OpenStore(*storePath)
+		if err != nil {
+			fatal(err)
+		}
+		if n := st.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "xenbench: store: dropped %d corrupt or stale-version records\n", n)
+		}
+		rn.store = st
+	}
+	rn.flip = *flipUnit
 
 	if *table1 {
 		runTable1(ctx, *scale, *seed, rn)
@@ -243,6 +268,9 @@ func main() {
 	if err := rn.ckpt.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "xenbench: checkpoint:", err)
 		code = 1
+	}
+	if rn.store != nil {
+		fmt.Fprintf(os.Stderr, "xenbench: store: hits=%d misses=%d\n", rn.storeHits, rn.storeMisses)
 	}
 	if !rn.healthy() {
 		fmt.Fprintf(os.Stderr,
@@ -285,6 +313,18 @@ func liftDirectory(ctx context.Context, shape corpus.DirShape, seed int64, scope
 	dir, err := corpus.BuildDirectory(shape, seed)
 	if err != nil {
 		return nil, err
+	}
+	if rn.flip != "" {
+		for _, u := range dir.Units {
+			if u.Name != rn.flip {
+				continue
+			}
+			fn, err := corpus.FlipUnit(u)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "xenbench: flipped one immediate in %s/%s\n", u.Name, fn)
+		}
 	}
 	opts := append(rn.opts(scope), lift.Cache(cache))
 	sum := lift.Run(ctx, lift.UnitRequests(dir.Units), opts...)

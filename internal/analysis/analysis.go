@@ -6,9 +6,12 @@
 //
 // Four analyzers are registered:
 //
-//	ctxless — flags calls to the four Deprecated non-context entrypoints
-//	          (Lifter.LiftFunc, Lifter.LiftBinary, pipeline.Run,
-//	          triple.CheckGraph) and names the context-aware replacement.
+//	ctxless — forbids reintroducing exported non-context Lift*/Run*/Check*
+//	          entrypoints in the core/pipeline/triple packages (the four
+//	          deprecated context-less wrappers were deleted once callers
+//	          migrated; the rule keeps them deleted) and flags calls to
+//	          the Deprecated wrappers that remain (lift.NewCheckpoint,
+//	          lift.ResumeCheckpoint → lift.OpenCheckpoint).
 //	exprnew — flags expr.Expr composite literals outside package expr;
 //	          hand-built expressions bypass the intern table and break
 //	          the pointer-identity invariant behind expr.Equal.

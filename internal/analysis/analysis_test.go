@@ -17,22 +17,25 @@ import (
 const coreSrc = `package core
 import "context"
 type Lifter struct{}
-func (l *Lifter) LiftFunc(addr uint64, name string) int { return l.LiftFuncCtx(context.Background(), addr, name) }
-func (l *Lifter) LiftBinary(name string) int { return l.LiftBinaryCtx(context.Background(), name) }
 func (l *Lifter) LiftFuncCtx(ctx context.Context, addr uint64, name string) int { return 0 }
 func (l *Lifter) LiftBinaryCtx(ctx context.Context, name string) int { return 0 }
 `
 
 const pipelineSrc = `package pipeline
 import "context"
-func Run() int { return RunCtx(context.Background()) }
 func RunCtx(ctx context.Context) int { return 0 }
 `
 
 const tripleSrc = `package triple
 import "context"
-func CheckGraph() int { return Check(context.Background()) }
 func Check(ctx context.Context) int { return 0 }
+`
+
+const liftSrc = `package lift
+type Checkpoint struct{}
+func OpenCheckpoint(path string) (*Checkpoint, error) { return &Checkpoint{}, nil }
+func NewCheckpoint(path string) (*Checkpoint, error) { return OpenCheckpoint(path) }
+func ResumeCheckpoint(path string) (*Checkpoint, error) { return OpenCheckpoint(path) }
 `
 
 const exprSrc = `package expr
@@ -99,6 +102,7 @@ func Background() Context { return nil }
 		"repro/internal/triple":   tripleSrc,
 		"repro/internal/obs":      obsSrc,
 		"repro/internal/expr":     exprSrc,
+		"repro/lift":              liftSrc,
 	} {
 		imp[path] = typecheck(t, path, src, imp).Pkg
 	}
@@ -115,22 +119,22 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/triple"
+	"repro/lift"
 )
 
 func use(l *core.Lifter, tr *obs.Tracer) {
-	_ = l.LiftFunc(1, "f")     // ctxless
-	_ = l.LiftBinary("b")      // ctxless
-	_ = pipeline.Run()         // ctxless
-	_ = triple.CheckGraph()    // ctxless
+	_, _ = lift.NewCheckpoint("a")    // ctxless
+	_, _ = lift.ResumeCheckpoint("a") // ctxless
+	_, _ = lift.OpenCheckpoint("a")
 	_ = l.LiftFuncCtx(context.Background(), 1, "f")
 	_ = pipeline.RunCtx(context.Background())
 	_ = triple.Check(context.Background())
 	_ = tr.Sink // obsnil
 	tr.Step(1)
-	_ = l.LiftFunc(1, "f") //reprovet:ignore ctxless
+	_, _ = lift.NewCheckpoint("a") //reprovet:ignore ctxless
 	//reprovet:ignore
 	_ = tr.Sink
-	_ = pipeline.Run() //reprovet:ignore obsnil
+	_, _ = lift.NewCheckpoint("a") //reprovet:ignore obsnil
 }
 `, imp)
 	diags := Run(pass, All())
@@ -144,7 +148,7 @@ func use(l *core.Lifter, tr *obs.Tracer) {
 	}
 	want := []finding{
 		{1, "pkgdoc"}, // the test package deliberately has no package doc
-		{12, "ctxless"}, {13, "ctxless"}, {14, "ctxless"}, {15, "ctxless"},
+		{13, "ctxless"}, {14, "ctxless"},
 		{19, "obsnil"},
 		{24, "ctxless"}, // the obsnil-only directive must not hide ctxless
 	}
@@ -161,15 +165,56 @@ func use(l *core.Lifter, tr *obs.Tracer) {
 func TestCtxlessMessageNamesReplacement(t *testing.T) {
 	imp := stubImporter(t)
 	pass := typecheck(t, "example.com/msg", `package msg
-import "repro/internal/pipeline"
-func f() { _ = pipeline.Run() }
+import "repro/lift"
+func f() { _, _ = lift.ResumeCheckpoint("x") }
 `, imp)
 	diags := Run(pass, []*Analyzer{Ctxless})
 	if len(diags) != 1 {
 		t.Fatalf("got %d diagnostics, want 1", len(diags))
 	}
-	if !strings.Contains(diags[0].Msg, "RunCtx") {
+	if !strings.Contains(diags[0].Msg, "OpenCheckpoint") {
 		t.Fatalf("message %q does not name the replacement", diags[0].Msg)
+	}
+}
+
+func TestCtxlessDeclarationRule(t *testing.T) {
+	imp := stubImporter(t)
+	// The rule covers the entrypoint packages including their internal
+	// test variants: exported Lift*/Run*/Check* declarations must take a
+	// context.Context.
+	src := `package pipeline
+import "context"
+func Run(n int) int { return n }
+func RunCtx(ctx context.Context) int { return 0 }
+func run() {}
+func ForEach(jobs, n int) {}
+type T struct{}
+func (T) CheckAll() {}
+func (T) CheckAllCtx(ctx context.Context) {}
+`
+	for _, path := range []string{
+		"repro/internal/pipeline",
+		"repro/internal/pipeline [repro/internal/pipeline.test]",
+	} {
+		pass := typecheck(t, path, src, imp)
+		diags := Run(pass, []*Analyzer{Ctxless})
+		if len(diags) != 2 {
+			t.Fatalf("%s: got %d diagnostics, want 2: %v", path, len(diags), diags)
+		}
+		for i, wantLine := range []int{3, 8} {
+			if l := pass.Fset.Position(diags[i].Pos).Line; l != wantLine {
+				t.Errorf("%s: diag %d at line %d, want %d: %s", path, i, l, wantLine, diags[i].Msg)
+			}
+		}
+	}
+	// Outside the entrypoint packages the declaration rule is silent —
+	// other packages may export context-less Run/Check helpers freely.
+	pass := typecheck(t, "example.com/other", `package other
+func Run() {}
+func CheckAll() {}
+`, imp)
+	if diags := Run(pass, []*Analyzer{Ctxless}); len(diags) != 0 {
+		t.Fatalf("declaration rule fired outside the entrypoint packages: %v", diags)
 	}
 }
 
@@ -295,11 +340,11 @@ func TestRunOrdersDeterministically(t *testing.T) {
 	src := `package ord
 import (
 	"repro/internal/obs"
-	"repro/internal/pipeline"
+	"repro/lift"
 )
 func f(tr *obs.Tracer) {
 	_ = tr.Sink
-	_ = pipeline.Run()
+	_, _ = lift.NewCheckpoint("x")
 	_ = tr.Sink
 }
 `

@@ -109,8 +109,11 @@ func CompileWithLayout(p *Program, lay Layout) (*Result, error) {
 	c.asm.CallAbs(c.stubs["exit"])
 	c.asm.I(x86.UD2)
 
+	funcSize := map[string]uint64{}
 	for _, f := range p.Funcs {
+		start := c.asm.PC()
 		c.compileFunc(f)
+		funcSize[f.Name] = c.asm.PC() - start
 	}
 	if c.err != nil {
 		return nil, c.err
@@ -171,7 +174,7 @@ func CompileWithLayout(p *Program, lay Layout) (*Result, error) {
 	for _, f := range p.Funcs {
 		addr, _ := c.asm.LabelAddr("fn_" + f.Name)
 		funcs[f.Name] = addr
-		eb.AddFunc(f.Name, addr, 0)
+		eb.AddFunc(f.Name, addr, funcSize[f.Name])
 	}
 	for _, g := range p.Globals {
 		eb.AddObject(g.Name, c.globals[g.Name], uint64(g.Size))

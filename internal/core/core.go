@@ -180,15 +180,6 @@ func (l *Lifter) LiftFuncCtx(ctx context.Context, addr uint64, name string) *Fun
 	return r
 }
 
-// LiftFunc lifts the function at addr without cancellation.
-//
-// Deprecated: use LiftFuncCtx, which threads a context.Context through
-// the exploration. LiftFunc remains for existing callers and is exactly
-// LiftFuncCtx with context.Background().
-func (l *Lifter) LiftFunc(addr uint64, name string) *FuncResult {
-	return l.LiftFuncCtx(context.Background(), addr, name)
-}
-
 // BinaryResult aggregates lifting a whole binary from its entry point,
 // including all internal functions reached through calls.
 type BinaryResult struct {
@@ -215,14 +206,6 @@ func (l *Lifter) LiftBinaryCtx(ctx context.Context, name string) *BinaryResult {
 		}
 	}
 	return res
-}
-
-// LiftBinary lifts the binary from its entry point without cancellation.
-//
-// Deprecated: use LiftBinaryCtx, which threads a context.Context through
-// the exploration.
-func (l *Lifter) LiftBinary(name string) *BinaryResult {
-	return l.LiftBinaryCtx(context.Background(), name)
 }
 
 // Counters returns the machine's solver and memory-model activity counters

@@ -677,22 +677,3 @@ func TestExploitCandidatesEmptyForBenign(t *testing.T) {
 		t.Fatal("nil graph")
 	}
 }
-
-// TestDeprecatedLiftWrappers keeps the compatibility shims covered: the
-// context-less entrypoints must behave exactly like their Ctx forms.
-func TestDeprecatedLiftWrappers(t *testing.T) {
-	b := newBuilder(t)
-	a := b.Func("f")
-	a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.ImmOp(1, 4))
-	a.I(x86.RET)
-	im := b.Image()
-	l := New(im, DefaultConfig())
-	r := l.LiftFunc(b.funcSyms["f"], "f") //reprovet:ignore ctxless
-	if r.Status != StatusLifted {
-		t.Fatalf("LiftFunc wrapper: %s %v", r.Status, r.Reasons)
-	}
-	br := l.LiftBinary("wrap") //reprovet:ignore ctxless
-	if br == nil || len(br.Funcs) == 0 {
-		t.Fatal("LiftBinary wrapper returned no functions")
-	}
-}

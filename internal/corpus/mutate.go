@@ -1,0 +1,94 @@
+package corpus
+
+// Single-function mutation: the incremental-lifting smoke tests need a
+// binary that differs from a previous build in exactly one function, the
+// way an edit-recompile cycle produces one. FlipUnit simulates that by
+// flipping one immediate byte inside one function's symbol extent and
+// reloading the image — every other function's bytes (and so its
+// content-addressed store key) are untouched.
+
+import (
+	"fmt"
+
+	"repro/internal/image"
+	"repro/internal/x86"
+)
+
+// FlipUnit mutates the unit in place: one data immediate inside the
+// unit's target function (FuncAddr for library functions, the first
+// function symbol for whole binaries) is XOR-ed with 1 and the image
+// reloaded from the patched ELF. Branch immediates and immediates that
+// look like code pointers are skipped so the mutated function still
+// decodes and lifts; the returned name identifies the mutated function.
+func FlipUnit(u *Unit) (string, error) {
+	addr := u.FuncAddr
+	if u.Kind == KindBinary {
+		// The entry point is the bare _start wrapper (no symbol, no
+		// immediates); mutate the first real function instead.
+		syms := u.Image.FuncSymbols()
+		if len(syms) == 0 {
+			return "", fmt.Errorf("flip %s: no function symbols", u.Name)
+		}
+		addr = syms[0].Value
+	}
+	name, size := "", uint64(0)
+	for _, s := range u.Image.FuncSymbols() {
+		if s.Value == addr && s.Size > 0 {
+			name, size = s.Name, s.Size
+			break
+		}
+	}
+	if size == 0 {
+		return "", fmt.Errorf("flip %s: no sized symbol at %#x", u.Name, addr)
+	}
+	flipAddr, err := findFlippableImm(u.Image, addr, addr+size)
+	if err != nil {
+		return "", fmt.Errorf("flip %s/%s: %w", u.Name, name, err)
+	}
+	raw := append([]byte(nil), u.Image.Raw()...)
+	off, ok := fileOffset(u.Image, flipAddr)
+	if !ok {
+		return "", fmt.Errorf("flip %s/%s: address %#x not backed by file data", u.Name, name, flipAddr)
+	}
+	raw[off] ^= 1
+	img, err := image.Load(raw)
+	if err != nil {
+		return "", fmt.Errorf("flip %s/%s: reload: %w", u.Name, name, err)
+	}
+	u.Image = img
+	return name, nil
+}
+
+// findFlippableImm walks the instructions of [lo,hi) and returns the
+// address of the final byte (immediates encode last) of the first
+// instruction carrying a plain data immediate — not a branch target and
+// not a value inside the text range (those are code pointers; flipping
+// one would change control flow rather than data).
+func findFlippableImm(img *image.Image, lo, hi uint64) (uint64, error) {
+	for addr := lo; addr < hi; {
+		inst, err := img.Fetch(addr)
+		if err != nil {
+			return 0, err
+		}
+		if inst.Mn != x86.JMP && inst.Mn != x86.CALL && inst.Mn != x86.JCC {
+			for _, op := range inst.Ops {
+				if op.Kind == x86.OpImm && !img.InText(uint64(op.Imm)) {
+					return addr + uint64(inst.Len) - 1, nil
+				}
+			}
+		}
+		addr += uint64(inst.Len)
+	}
+	return 0, fmt.Errorf("no flippable immediate in [%#x,%#x)", lo, hi)
+}
+
+// fileOffset maps a virtual address to its offset in the raw ELF via the
+// section table.
+func fileOffset(img *image.Image, addr uint64) (uint64, bool) {
+	for _, s := range img.File().Sections {
+		if s.Data != nil && addr >= s.Addr && addr < s.Addr+uint64(len(s.Data)) {
+			return s.Off + (addr - s.Addr), true
+		}
+	}
+	return 0, false
+}

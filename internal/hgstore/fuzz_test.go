@@ -1,0 +1,118 @@
+package hgstore_test
+
+// Fuzz target for the HGCS container: for ANY byte string presented as a
+// store file, Open must return without error or panic (content defects
+// are misses, not failures), and every record that survives loading must
+// either decode cleanly or miss with a reason under Lookup. Seeded with a
+// real populated container, its truncations, bit-corrupted variants, and
+// a standalone graph file (the wrong file kind for a store).
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/hgstore"
+)
+
+// fuzzImage lazily builds one corpus scenario image for Lookup probing.
+var fuzzImage = sync.OnceValues(func() (*corpus.Scenario, error) {
+	scenarios, err := corpus.AllScenarios()
+	if err != nil {
+		return nil, err
+	}
+	return scenarios[0], nil
+})
+
+func FuzzStoreOpen(f *testing.F) {
+	scenarios, err := corpus.AllScenarios()
+	if err != nil {
+		f.Fatal(err)
+	}
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.hgcs")
+	st, err := hgstore.Open(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var graphSeed []byte
+	for _, s := range scenarios {
+		l := core.New(s.Image, core.DefaultConfig())
+		fr := l.LiftFuncCtx(context.Background(), s.FuncAddr, s.Name)
+		e := &hgstore.Entry{
+			Status:     fr.Status,
+			Graph:      fr.Stats(),
+			Sem:        l.Counters(),
+			Funcs:      []*core.FuncResult{fr},
+			EntryIndex: -1,
+		}
+		if _, err := st.Put(hgstore.TaskKey(s.Image, s.FuncAddr, false, nil), e, s.Image); err != nil {
+			f.Fatal(err)
+		}
+		if graphSeed == nil && fr.Graph != nil && fr.Graph.EntryID != "" {
+			graphSeed = hgstore.MarshalGraph(fr.Graph)
+		}
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add(full[:len(full)-1])
+	f.Add([]byte("HGCS"))
+	f.Add([]byte{})
+	if graphSeed != nil {
+		f.Add(graphSeed) // wrong file kind for a store
+	}
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/3] ^= 0x80
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "f.hgcs")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		s, err := hgstore.Open(p)
+		if err != nil {
+			t.Fatalf("Open returned a content error: %v", err)
+		}
+		probe, perr := fuzzImage()
+		if perr != nil {
+			t.Skip()
+		}
+		for _, k := range s.Keys() {
+			e, n, _, reason := s.Lookup(k, probe.Image)
+			if e == nil && reason == "" {
+				t.Fatal("miss without a reason")
+			}
+			if e != nil && n <= 0 {
+				t.Fatal("hit with non-positive payload size")
+			}
+		}
+		// The loaded prefix must survive a rewrite round-trip: Put-ing
+		// one more record flushes the container, which must reopen to at
+		// least the same records.
+		before := s.Len()
+		probeEntry := &hgstore.Entry{Status: core.StatusError, EntryIndex: -1}
+		key := hgstore.TaskKey(probe.Image, probe.FuncAddr, false, nil)
+		if _, err := s.Put(key, probeEntry, probe.Image); err != nil {
+			t.Fatalf("Put after load: %v", err)
+		}
+		re, err := hgstore.Open(p)
+		if err != nil {
+			t.Fatalf("reopen after rewrite: %v", err)
+		}
+		if re.Dropped() != 0 {
+			t.Fatalf("rewritten container drops %d records", re.Dropped())
+		}
+		if re.Len() < before {
+			t.Fatalf("rewrite lost records: %d -> %d", before, re.Len())
+		}
+	})
+}

@@ -1,0 +1,253 @@
+package hgstore
+
+// The on-disk container. One file holds the whole store:
+//
+//	file   = "HGCS" version(uvarint) filekind(byte 'S')
+//	         record*                                     until EOF
+//	record = code(u64 raw) cfg(u64 raw) addr binary(bool)
+//	         lifter-version(string)
+//	         payload(length-prefixed bytes) checksum(u64 raw)
+//
+// checksum is the content hash of the payload bytes; a record whose
+// checksum does not match — bit corruption — is dropped, as is a
+// truncated tail (a crash mid-write under a non-atomic filesystem), as
+// are records stamped with a different LifterVersion. Every drop is a
+// future miss, never an error: the store is a cache, and its failure mode
+// is re-lifting.
+//
+// Writes are single-writer atomic replaces in the style of the checkpoint
+// journal: the writer serialises the whole container to <path>.tmp,
+// fsyncs, and renames over the destination, all under the store mutex —
+// safe when N pipeline workers Put concurrently, and a reader never
+// observes a half-written file.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/image"
+	"repro/internal/wire"
+)
+
+// Magic and Version identify the HGCS container.
+const (
+	Magic   = "HGCS"
+	Version = 1
+)
+
+// File kinds: a store container holds keyed records, a graph file one
+// standalone Hoare graph (see graphfile.go).
+const (
+	fileKindStore = 'S'
+	fileKindGraph = 'G'
+)
+
+// record is one stored entry: the payload kept encoded until a Lookup
+// needs it (decode restores interned pointers against the reader's
+// image, so decoding eagerly at open would pin the wrong image).
+type record struct {
+	key     Key
+	payload []byte
+}
+
+// Store is the content-addressed Hoare-graph cache. All methods are safe
+// for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	path    string
+	recs    map[Key]*record
+	order   []Key // insertion order of first sight, for stable files
+	dropped int
+}
+
+// Open creates or resumes the store at path — one idiom, like
+// lift.OpenCheckpoint: a missing file is an empty store, an existing one
+// is loaded with corrupt, truncated, or version-skewed records dropped
+// (Dropped counts them). Only real I/O errors are returned.
+func Open(path string) (*Store, error) {
+	s := &Store{path: path, recs: map[Key]*record{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("hgstore: open: %w", err)
+	}
+	s.load(data)
+	return s, nil
+}
+
+// load parses a container, tolerating every content defect.
+func (s *Store) load(data []byte) {
+	d := wire.NewDecoder(data)
+	if string(d.Bytes(uint64(len(Magic)), "magic")) != Magic ||
+		d.Uvarint("container version") != Version ||
+		d.Byte("file kind") != fileKindStore {
+		// Wrong magic, a future container version, or a graph file where
+		// a store was expected: everything it holds is unusable — treat
+		// the whole file as dropped. The next flush rewrites it.
+		s.dropped++
+		return
+	}
+	for len(d.Rest()) > 0 {
+		var k Key
+		k.Code = d.Uint64("record code hash")
+		k.Cfg = d.Uint64("record config fingerprint")
+		k.Addr = d.Uvarint("record address")
+		k.Binary = decodeBool(d, "record binary")
+		version := d.String("record lifter version")
+		payload := d.ByteSlice("record payload")
+		sum := d.Uint64("record checksum")
+		if d.Err() != nil {
+			// Truncated or malformed tail: drop it and everything after.
+			s.dropped++
+			return
+		}
+		if sum != hashBytes(hashSeed, payload) || version != LifterVersion {
+			s.dropped++
+			continue
+		}
+		if _, ok := s.recs[k]; !ok {
+			s.order = append(s.order, k)
+		}
+		s.recs[k] = &record{key: k, payload: payload}
+	}
+}
+
+// Path returns the store's file path.
+func (s *Store) Path() string { return s.path }
+
+// Len returns the number of usable entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Bytes returns the total encoded payload size of the usable entries.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, r := range s.recs {
+		n += int64(len(r.payload))
+	}
+	return n
+}
+
+// Dropped counts records discarded on open: corrupt, truncated, or
+// stamped with another lifter version.
+func (s *Store) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Lookup decodes the entry for key against img. A usable entry returns
+// (entry, payload size, decode wall time, ""); every other outcome is a
+// miss with a reason — "absent", "stale" (dependency code bytes changed),
+// or "corrupt" (the payload fails structural decode despite its checksum,
+// e.g. the image cannot satisfy an instruction fetch). Misses never
+// return an error.
+func (s *Store) Lookup(key Key, img *image.Image) (*Entry, int, time.Duration, string) {
+	s.mu.Lock()
+	r := s.recs[key]
+	s.mu.Unlock()
+	if r == nil {
+		return nil, 0, 0, "absent"
+	}
+	start := time.Now()
+	e, err := decodePayload(wire.NewDecoder(r.payload), img)
+	switch {
+	case errors.Is(err, ErrStale):
+		return nil, 0, 0, "stale"
+	case err != nil:
+		return nil, 0, 0, "corrupt"
+	}
+	return e, len(r.payload), time.Since(start), ""
+}
+
+// Put seals, encodes and persists one entry, replacing any previous
+// record under the same key, and returns the encoded payload size. The
+// write is atomic (tmp+rename of the whole container) and serialised by
+// the store mutex, so concurrent Puts from -jobs N workers interleave
+// safely. Callers decide storability (see Storable) before putting.
+func (s *Store) Put(key Key, e *Entry, img *image.Image) (int, error) {
+	if err := e.Seal(img); err != nil {
+		return 0, err
+	}
+	payload := e.appendPayload(nil)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[key]; !ok {
+		s.order = append(s.order, key)
+	}
+	s.recs[key] = &record{key: key, payload: payload}
+	return len(payload), s.flushLocked()
+}
+
+// flushLocked rewrites the container atomically. Records are emitted in
+// first-insertion order, so re-running an identical corpus rewrites an
+// identical file.
+func (s *Store) flushLocked() error {
+	buf := []byte(Magic)
+	buf = wire.AppendUvarint(buf, Version)
+	buf = append(buf, fileKindStore)
+	for _, k := range s.order {
+		r := s.recs[k]
+		buf = wire.AppendUint64(buf, k.Code)
+		buf = wire.AppendUint64(buf, k.Cfg)
+		buf = wire.AppendUvarint(buf, k.Addr)
+		buf = appendBool(buf, k.Binary)
+		buf = wire.AppendString(buf, LifterVersion)
+		buf = wire.AppendBytes(buf, r.payload)
+		buf = wire.AppendUint64(buf, hashBytes(hashSeed, r.payload))
+	}
+	tmp := s.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, s.path)
+}
+
+// Keys returns the stored keys sorted for deterministic iteration (tests
+// and tooling; the container itself keeps insertion order).
+func (s *Store) Keys() []Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Key, len(s.order))
+	copy(out, s.order)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Cfg != b.Cfg {
+			return a.Cfg < b.Cfg
+		}
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return !a.Binary && b.Binary
+	})
+	return out
+}

@@ -168,6 +168,20 @@ func (m *Metrics) Emit(e Event) {
 		m.Histogram("dist.shard.wall").Observe(e.Wall)
 	case KWorkerRestart:
 		m.Counter("dist.worker.restarts").Add(1)
+	case KStore:
+		switch e.Status {
+		case "hit":
+			m.Counter("store.hits").Add(1)
+			m.Counter("store.bytes").Add(e.N)
+			m.Histogram("store.decode.wall").Observe(e.Wall)
+		case "miss":
+			m.Counter("store.misses").Add(1)
+		case "write":
+			m.Counter("store.writes").Add(1)
+			m.Counter("store.bytes").Add(e.N)
+		default:
+			m.Counter("store." + e.Status).Add(1)
+		}
 	}
 }
 

@@ -53,6 +53,7 @@ const (
 	KShardStart                // dist: a serialized shard was handed to a worker (N = work units)
 	KShardDone                 // dist: a shard's verdicts merged (Status, N = solver queries, Hits = memo hits, Wall)
 	KWorkerRestart             // dist: a worker crashed or timed out and its shard was re-scheduled (Status, N = attempt)
+	KStore                     // hgstore: graph-store activity (Status = hit | miss | write | write-error; N = payload bytes, Wall = decode latency, Detail = miss reason / error)
 )
 
 // kindNames renders the kinds in the JSONL trace.
@@ -77,6 +78,7 @@ var kindNames = [...]string{
 	KShardStart:    "shard-start",
 	KShardDone:     "shard-done",
 	KWorkerRestart: "worker-restart",
+	KStore:         "store",
 }
 
 // String renders the kind.
@@ -339,6 +341,43 @@ func (t *Tracer) WorkerRestart(shard, reason string, attempt int) {
 		return
 	}
 	t.Emit(Event{Kind: KWorkerRestart, Func: shard, Status: reason, N: uint64(attempt)})
+}
+
+// StoreHit marks a graph-store lookup answered from the cache: bytes is
+// the entry's encoded payload size, wall the decode latency (the cost the
+// hit paid instead of a lift).
+func (t *Tracer) StoreHit(name string, bytes uint64, wall time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KStore, Func: name, Status: "hit", N: bytes, Wall: wall})
+}
+
+// StoreMiss marks a graph-store lookup that found no usable entry; reason
+// distinguishes why (absent, stale code bytes, version skew, corruption).
+func (t *Tracer) StoreMiss(name, reason string) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KStore, Func: name, Status: "miss", Detail: reason})
+}
+
+// StoreWrite marks a freshly lifted result being appended to the graph
+// store (bytes = encoded payload size).
+func (t *Tracer) StoreWrite(name string, bytes uint64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KStore, Func: name, Status: "write", N: bytes})
+}
+
+// StoreError marks a failed store append; like checkpoint write errors the
+// run keeps going — the entry is simply not cached — so this is a warning.
+func (t *Tracer) StoreError(name string, err error) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KStore, Func: name, Status: "write-error", Detail: err.Error()})
 }
 
 // Lint marks one hglint diagnostic against the graph of fn: severity

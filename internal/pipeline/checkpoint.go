@@ -92,6 +92,20 @@ type Checkpoint struct {
 	faults  *faultinject.Injector
 }
 
+// OpenCheckpoint opens the journal at path: an existing file is resumed
+// (completed results restore without lifting), a missing one starts a
+// fresh journal. This is the single entrypoint the batch commands use —
+// callers that want a guaranteed-fresh run delete the file first, which
+// keeps the create/resume decision with the file rather than a flag.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	if _, err := os.Stat(path); err == nil {
+		return ResumeCheckpoint(path)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return CreateCheckpoint(path)
+}
+
 // CreateCheckpoint starts a fresh journal at path, truncating any
 // existing one (the non-resume form of the batch commands).
 func CreateCheckpoint(path string) (*Checkpoint, error) {

@@ -286,3 +286,41 @@ func TestResumeDeterminism(t *testing.T) {
 		t.Fatalf("resumed summary diverges from uninterrupted run:\n--- resumed ---\n%s--- baseline ---\n%s", got, want)
 	}
 }
+
+// TestOpenCheckpointCreatesOrResumes covers the unified entrypoint: a
+// missing file starts a fresh journal (and creates the file immediately,
+// so a crash before the first append still resumes cleanly), an existing
+// one restores every completed result.
+func TestOpenCheckpointCreatesOrResumes(t *testing.T) {
+	tasks := checkpointDir(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 0 || cp.Skipped() != 0 {
+		t.Fatalf("fresh journal: len=%d skipped=%d", cp.Len(), cp.Skipped())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("create did not write the journal file: %v", err)
+	}
+	first := RunCtx(context.Background(), tasks, Options{Jobs: 2, Checkpoint: cp})
+	if cp.Err() != nil || cp.Len() != len(tasks) {
+		t.Fatalf("journal after run: len=%d err=%v", cp.Len(), cp.Err())
+	}
+
+	resumed, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Len() != len(tasks) {
+		t.Fatalf("resumed journal holds %d results, want %d", resumed.Len(), len(tasks))
+	}
+	second := RunCtx(context.Background(), tasks, Options{Checkpoint: resumed})
+	if second.Restored != len(tasks) {
+		t.Fatalf("Restored = %d, want %d", second.Restored, len(tasks))
+	}
+	if got, want := second.Canonical(), first.Canonical(); got != want {
+		t.Fatalf("resumed summary diverges:\n--- resumed ---\n%s--- first ---\n%s", got, want)
+	}
+}

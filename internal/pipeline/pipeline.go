@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/hglint"
+	"repro/internal/hgstore"
 	"repro/internal/hoare"
 	"repro/internal/image"
 	"repro/internal/obs"
@@ -99,6 +100,14 @@ type Options struct {
 	// Production runs leave it nil; tests and the CI smoke job use it to
 	// prove the retry and resume machinery.
 	Faults *faultinject.Injector
+	// Store, when non-nil, is the content-addressed Hoare-graph cache: a
+	// task whose (code hash, config fingerprint, lifter version) key has a
+	// valid entry skips Step-1 lifting entirely — the result (graphs,
+	// statistics replay) is decoded from the store, optionally re-linted,
+	// and reported with FromStore set. Misses lift as usual and append
+	// their outcome when Storable. Unlike Checkpoint, a store survives
+	// corpus changes: only the tasks whose code bytes drifted re-lift.
+	Store *hgstore.Store
 }
 
 // RetryPolicy tunes the pipeline's rescheduling of faulted lifts.
@@ -224,6 +233,11 @@ type Result struct {
 	// JournalLintErrors carries the journal-recorded lint error count of
 	// a restored result, whose Lint reports are not persisted.
 	JournalLintErrors int
+	// FromStore marks a result decoded from the Hoare-graph store instead
+	// of lifted. Unlike Restored results it carries full Func/Binary
+	// payloads (the store persists graphs); Stats replay the cold lift's
+	// record, so warm summaries aggregate identically to cold ones.
+	FromStore bool
 }
 
 // LintErrors sums the error-severity diagnostics across the result's
@@ -257,6 +271,11 @@ type Summary struct {
 	// Quarantined counts those that exhausted the retry budget. Restored
 	// counts results replayed from the checkpoint journal.
 	Retried, Quarantined, Restored int
+	// StoreHits counts tasks answered from the Hoare-graph store,
+	// StoreMisses tasks that consulted it and had to lift (0 unless
+	// Options.Store was set). A fully warm run has StoreMisses == 0: it
+	// performed no lifts at all.
+	StoreHits, StoreMisses int
 	// LintErrors sums error-severity hglint diagnostics across every
 	// result (0 unless Options.Lint was set).
 	LintErrors int
@@ -332,6 +351,13 @@ func RunCtx(ctx context.Context, tasks []Task, opts Options) *Summary {
 		if r.Restored {
 			sum.Restored++
 		}
+		if opts.Store != nil && !r.Restored {
+			if r.FromStore {
+				sum.StoreHits++
+			} else if r.Status != core.StatusCancelled {
+				sum.StoreMisses++
+			}
+		}
 		switch r.Status {
 		case core.StatusLifted:
 			sum.Lifted++
@@ -352,14 +378,6 @@ func RunCtx(ctx context.Context, tasks []Task, opts Options) *Summary {
 	return sum
 }
 
-// Run lifts every task without external cancellation.
-//
-// Deprecated: use RunCtx, which accepts a context.Context. Run remains
-// for existing callers and is exactly RunCtx with context.Background().
-func Run(tasks []Task, opts Options) *Summary {
-	return RunCtx(context.Background(), tasks, opts)
-}
-
 // runOne executes a single task under the retry policy: attempts run
 // until one ends in a non-retryable status or the budget is exhausted.
 // Only the final attempt's Result (and Stats) is returned; abandoned
@@ -369,7 +387,17 @@ func Run(tasks []Task, opts Options) *Summary {
 func runOne(ctx context.Context, t Task, idx int, opts Options) Result {
 	tr := opts.Tracer.WithLift(t.Name)
 	start := time.Now()
+	var storeKey hgstore.Key
 	finish := func(r Result) Result {
+		if opts.Store != nil && !r.FromStore &&
+			hgstore.Storable(r.Status, opts.Timeout > 0) &&
+			(r.Func != nil || r.Binary != nil) {
+			if n, err := opts.Store.Put(storeKey, entryFromResult(r), t.Img); err != nil {
+				tr.StoreError(t.Name, err)
+			} else {
+				tr.StoreWrite(t.Name, uint64(n))
+			}
+		}
 		tr.TaskFinish(t.Name, r.Status.String(), time.Since(start))
 		return r
 	}
@@ -378,6 +406,19 @@ func runOne(ctx context.Context, t Task, idx int, opts Options) Result {
 		return finish(Result{Name: t.Name, Index: idx, Status: core.StatusCancelled, Attempts: 0})
 	}
 	tr.TaskStart(t.Name)
+	if opts.Store != nil {
+		addr := t.Addr
+		if t.Binary {
+			addr = 0
+		}
+		storeKey = hgstore.TaskKey(t.Img, addr, t.Binary, t.Cfg)
+		if e, n, wall, reason := opts.Store.Lookup(storeKey, t.Img); e != nil {
+			tr.StoreHit(t.Name, uint64(n), wall)
+			return finish(resultFromEntry(t, idx, e, opts, tr))
+		} else {
+			tr.StoreMiss(t.Name, reason)
+		}
+	}
 	maxAttempts := opts.Retry.Attempts()
 	var retryStats Stats
 	for attempt := 0; ; attempt++ {
@@ -508,6 +549,66 @@ func lift(ctx context.Context, t Task, idx int, opts Options, tr *obs.Tracer) Re
 		lintResult(&res, opts.Cache, tr)
 	}
 	return res
+}
+
+// resultFromEntry reconstructs the Result a cold lift would have produced
+// from a decoded store entry: statuses and statistics replay the recorded
+// values, the graphs are the decoded (pointer-canonical) ones, and — like
+// a fresh lift — the result is re-linted when the run asks for it, so a
+// corrupted-but-checksum-valid graph cannot sneak past the analyzer.
+func resultFromEntry(t Task, idx int, e *hgstore.Entry, opts Options, tr *obs.Tracer) Result {
+	res := Result{
+		Name:      t.Name,
+		Index:     idx,
+		Status:    e.Status,
+		Stats:     Stats{Graph: e.Graph, Sem: e.Sem, Wall: e.Wall},
+		Attempts:  1,
+		FromStore: true,
+	}
+	if t.Binary {
+		br := &core.BinaryResult{
+			Name:     t.Name,
+			Status:   e.Status,
+			Funcs:    e.Funcs,
+			Stats:    e.Graph,
+			Duration: e.Duration,
+		}
+		if e.EntryIndex >= 0 {
+			br.Entry = e.Funcs[e.EntryIndex]
+		}
+		res.Binary = br
+	} else if len(e.Funcs) > 0 {
+		res.Func = e.Funcs[0]
+	}
+	if opts.Lint {
+		lintResult(&res, opts.Cache, tr)
+	}
+	return res
+}
+
+// entryFromResult converts a completed lift into its store entry.
+func entryFromResult(r Result) *hgstore.Entry {
+	e := &hgstore.Entry{
+		Status:     r.Status,
+		Graph:      r.Stats.Graph,
+		Sem:        r.Stats.Sem,
+		Wall:       r.Stats.Wall,
+		EntryIndex: -1,
+	}
+	switch {
+	case r.Binary != nil:
+		e.Duration = r.Binary.Duration
+		e.Funcs = r.Binary.Funcs
+		for i, fr := range r.Binary.Funcs {
+			if fr == r.Binary.Entry {
+				e.EntryIndex = i
+			}
+		}
+	case r.Func != nil:
+		e.Duration = r.Func.Duration
+		e.Funcs = []*core.FuncResult{r.Func}
+	}
+	return e
 }
 
 // lintResult runs the static analyzer over every successfully lifted

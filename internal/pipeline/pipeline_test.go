@@ -321,13 +321,3 @@ func TestRunLintOff(t *testing.T) {
 		t.Fatalf("LintErrors = %d without Options.Lint", sum.LintErrors)
 	}
 }
-
-// TestDeprecatedRunWrapper keeps the compatibility shim covered: the
-// context-less entrypoint must produce the same summary as RunCtx.
-func TestDeprecatedRunWrapper(t *testing.T) {
-	tasks := smallDir(t)
-	sum := Run(tasks, Options{Jobs: 2}) //reprovet:ignore ctxless
-	if sum.Lifted == 0 {
-		t.Fatalf("wrapper lifted nothing: %+v", sum)
-	}
-}

@@ -13,7 +13,7 @@ import (
 // address, establishes the disjunction of its successors' invariants. Each
 // lemma is discharged by the htriple proof method — the tailored symbolic
 // execution script of the paper. The text is what the paper's Step 2
-// exports; this repository's independent checker (CheckGraph) plays the
+// exports; this repository's independent checker (Check) plays the
 // role of the prover.
 func ExportTheory(g *hoare.Graph, name string) string {
 	var b strings.Builder

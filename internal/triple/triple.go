@@ -80,7 +80,7 @@ type Report struct {
 func (r *Report) AllProven() bool { return r.Failed == 0 && r.Skipped == 0 }
 
 // CheckOption tunes a Check run. The zero configuration checks serially
-// with no observation, matching the deprecated CheckGraph's workers == 1.
+// with no observation.
 type CheckOption func(*checkCfg)
 
 type checkCfg struct {
@@ -158,15 +158,6 @@ func Check(ctx context.Context, img *image.Image, g *hoare.Graph, cfg sem.Config
 		}
 	}
 	return rep
-}
-
-// CheckGraph re-verifies every vertex across the given worker count.
-//
-// Deprecated: use Check, which threads a context.Context and takes the
-// worker count as an option. CheckGraph remains for existing callers and
-// is exactly Check with context.Background() and Workers(workers).
-func CheckGraph(img *image.Image, g *hoare.Graph, cfg sem.Config, workers int) *Report {
-	return Check(context.Background(), img, g, cfg, Workers(workers))
 }
 
 // annotatedAt reports whether the instruction at addr carries an

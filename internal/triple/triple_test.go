@@ -270,7 +270,7 @@ func TestSerialisedGraphVerifies(t *testing.T) {
 	}
 }
 
-func TestCheckGraphParallelConsistency(t *testing.T) {
+func TestCheckParallelConsistency(t *testing.T) {
 	// The parallel driver gives the same verdicts regardless of worker
 	// count (the theorems are mutually independent).
 	im, r := buildAndLift(t, func(a *x86.Asm) {
@@ -327,21 +327,5 @@ func TestTamperedMemoryModelFails(t *testing.T) {
 	rep := Check(context.Background(), im, r.Graph, sem.DefaultConfig(), Workers(1))
 	if rep.AllProven() {
 		t.Fatal("bogus aliasing claim must fail verification")
-	}
-}
-
-// TestDeprecatedCheckGraphWrapper keeps the compatibility shim covered:
-// the context-less entrypoint must prove the same theorems as Check.
-func TestDeprecatedCheckGraphWrapper(t *testing.T) {
-	im, r := buildAndLift(t, func(a *x86.Asm) {
-		a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.ImmOp(7, 4))
-		a.I(x86.RET)
-	}, nil)
-	if r.Status != core.StatusLifted {
-		t.Fatalf("lift: %s %v", r.Status, r.Reasons)
-	}
-	rep := CheckGraph(im, r.Graph, sem.DefaultConfig(), 2) //reprovet:ignore ctxless
-	if !rep.AllProven() {
-		t.Fatalf("failed theorems:\n%s", dumpFailures(rep))
 	}
 }

@@ -17,9 +17,20 @@
 // Cancelling ctx stops in-flight lifts cooperatively (they report
 // core.StatusCancelled) and skips tasks not yet started; the per-lift
 // Timeout is a deadline on the same context, so the two budgets share one
-// mechanism. The old entrypoints (pipeline.Run, core.Lifter.LiftFunc,
-// triple.CheckGraph) remain as thin deprecated wrappers so existing code
-// keeps compiling, but new code should come through this package.
+// mechanism. The old context-less entrypoints (pipeline.Run,
+// core.Lifter.LiftFunc, core.Lifter.LiftBinary, triple.CheckGraph) have
+// been deleted; all lifting flows through this package.
+//
+// Two persistence surfaces compose with a Run:
+//
+//   - WithCheckpoint(cp) makes a run crash-safe: completed results journal
+//     to disk and an interrupted run resumes where it stopped. A
+//     checkpoint is keyed by task name and scoped to one request list.
+//   - WithStore(st) makes lifting incremental: lifted Hoare graphs are
+//     cached content-addressed by (code bytes, config, lifter version), so
+//     a re-run over an unchanged corpus decodes graphs instead of lifting
+//     them, and editing one function re-lifts only that function. A store
+//     survives arbitrary corpus changes.
 package lift
 
 import (
@@ -29,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/faultinject"
+	"repro/internal/hgstore"
 	"repro/internal/image"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -47,21 +59,45 @@ type (
 	// RetryPolicy tunes the rescheduling of faulted lifts (see Retry).
 	RetryPolicy = pipeline.RetryPolicy
 	// Checkpoint is a crash-safe journal of completed results (see
-	// WithCheckpoint, NewCheckpoint and ResumeCheckpoint).
+	// WithCheckpoint and OpenCheckpoint).
 	Checkpoint = pipeline.Checkpoint
+	// Store is a content-addressed cache of lifted Hoare graphs (see
+	// WithStore and OpenStore).
+	Store = hgstore.Store
 )
+
+// OpenCheckpoint opens the checkpoint journal at path: an existing file
+// is resumed (a corrupt tail is dropped and reported by Skipped), a
+// missing one starts a fresh journal. Delete the file first for a
+// guaranteed-fresh run.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	return pipeline.OpenCheckpoint(path)
+}
 
 // NewCheckpoint starts a fresh checkpoint journal at path, truncating any
 // existing one.
+//
+// Deprecated: use OpenCheckpoint, deleting the file first when the run
+// must not resume. NewCheckpoint will be removed next release.
 func NewCheckpoint(path string) (*Checkpoint, error) {
 	return pipeline.CreateCheckpoint(path)
 }
 
 // ResumeCheckpoint loads the checkpoint journal at path (a missing file
-// yields an empty journal; a corrupt tail is dropped and reported by the
-// journal's Skipped method).
+// yields an empty journal).
+//
+// Deprecated: use OpenCheckpoint, which resumes an existing journal and
+// creates a missing one. ResumeCheckpoint will be removed next release.
 func ResumeCheckpoint(path string) (*Checkpoint, error) {
 	return pipeline.ResumeCheckpoint(path)
+}
+
+// OpenStore opens the Hoare-graph store at path: an existing container is
+// loaded (corrupt or version-skewed records are dropped and counted, never
+// fatal), a missing file starts an empty store that is created on first
+// write.
+func OpenStore(path string) (*Store, error) {
+	return hgstore.Open(path)
 }
 
 // Request names one unit of work: a whole binary lifted from its entry
@@ -178,6 +214,17 @@ func Retry(p RetryPolicy) Option {
 // with the same requests reproduces the uninterrupted Summary.
 func WithCheckpoint(c *Checkpoint) Option {
 	return func(s *settings) { s.popts.Checkpoint = c }
+}
+
+// WithStore makes the run incremental: before lifting, each task is
+// looked up in the store by the hash of its own code bytes, its resolved
+// configuration and the lifter version; a hit decodes the cached graphs
+// (and re-validates the hash of every instruction range they depend on
+// against the task's image) instead of exploring, and a miss lifts as
+// usual and writes the result back. Summary.StoreHits / StoreMisses count
+// the split; a fully warm run performs zero lifts.
+func WithStore(st *Store) Option {
+	return func(s *settings) { s.popts.Store = st }
 }
 
 // Faults installs a deterministic fault injector, consulted at the start

@@ -34,7 +34,7 @@ func scenarioRequests(t *testing.T) []lift.Request {
 func TestFacadeRetryAndCheckpoint(t *testing.T) {
 	reqs := scenarioRequests(t)
 	path := filepath.Join(t.TempDir(), "run.ckpt")
-	cp, err := lift.NewCheckpoint(path)
+	cp, err := lift.OpenCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestFacadeRetryAndCheckpoint(t *testing.T) {
 		t.Fatalf("journal: len=%d err=%v", cp.Len(), cp.Err())
 	}
 
-	resumed, err := lift.ResumeCheckpoint(path)
+	resumed, err := lift.OpenCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,5 +62,31 @@ func TestFacadeRetryAndCheckpoint(t *testing.T) {
 	}
 	if got, want := sum2.Canonical(), sum.Canonical(); got != want {
 		t.Fatalf("restored summary diverges:\n--- restored ---\n%s--- original ---\n%s", got, want)
+	}
+}
+
+// TestDeprecatedCheckpointWrappers pins the compatibility contract of the
+// two wrappers kept for one release: NewCheckpoint truncates,
+// ResumeCheckpoint loads, and both are thin over the same journal that
+// OpenCheckpoint manages.
+func TestDeprecatedCheckpointWrappers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compat.ckpt")
+	cp, err := lift.NewCheckpoint(path) //reprovet:ignore ctxless
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 0 {
+		t.Fatalf("fresh journal Len = %d, want 0", cp.Len())
+	}
+	resumed, err := lift.ResumeCheckpoint(path) //reprovet:ignore ctxless
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Len() != 0 || resumed.Skipped() != 0 {
+		t.Fatalf("resumed: len=%d skipped=%d, want 0/0", resumed.Len(), resumed.Skipped())
+	}
+	// And the unified form resumes the same file.
+	if opened, err := lift.OpenCheckpoint(path); err != nil || opened.Len() != 0 {
+		t.Fatalf("OpenCheckpoint after NewCheckpoint: len=%v err=%v", opened.Len(), err)
 	}
 }

@@ -1,0 +1,115 @@
+package lift_test
+
+// Facade-level coverage of incremental lifting: a cold run populates the
+// store, a warm run over a freshly regenerated (byte-identical) corpus
+// performs zero lifts and summarises byte-identically, and flipping one
+// function in one unit re-lifts exactly that unit.
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/lift"
+)
+
+// storeShape is a small mixed directory: lifted and unprovable units,
+// binaries included, so the store sees both task kinds and several
+// statuses.
+var storeShape = corpus.DirShape{
+	Name: "storetest", Kind: corpus.KindBinary, Lifted: 4, Unprovable: 1,
+	MinStmts: 2, MaxStmts: 6, Helpers: 2,
+}
+
+const storeSeed = 11
+
+func storeRequests(t *testing.T) ([]lift.Request, *corpus.Directory) {
+	t.Helper()
+	dir, err := corpus.BuildDirectory(storeShape, storeSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lift.UnitRequests(dir.Units), dir
+}
+
+func TestStoreWarmRunLiftsNothing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "graphs.hgcs")
+	reqs, _ := storeRequests(t)
+
+	st, err := lift.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := lift.Run(context.Background(), reqs, lift.Jobs(2), lift.WithStore(st))
+	if cold.StoreHits+cold.StoreMisses != len(reqs) {
+		t.Fatalf("cold run: hits=%d misses=%d over %d requests",
+			cold.StoreHits, cold.StoreMisses, len(reqs))
+	}
+	if cold.StoreMisses == 0 {
+		t.Fatal("cold run hit an empty store")
+	}
+
+	// A separate process regenerating the same corpus: reopen the store
+	// from disk, rebuild byte-identical images, run again.
+	st2, err := lift.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Dropped() != 0 || st2.Len() == 0 {
+		t.Fatalf("reopened store: len=%d dropped=%d", st2.Len(), st2.Dropped())
+	}
+	reqs2, _ := storeRequests(t)
+	warm := lift.Run(context.Background(), reqs2, lift.Jobs(2), lift.WithStore(st2))
+	if warm.StoreMisses != 0 || warm.StoreHits != len(reqs2) {
+		t.Fatalf("warm run lifted: hits=%d misses=%d, want %d/0",
+			warm.StoreHits, warm.StoreMisses, len(reqs2))
+	}
+	for _, r := range warm.Results {
+		if !r.FromStore {
+			t.Fatalf("%s: not served from store", r.Name)
+		}
+	}
+	if got, want := warm.Canonical(), cold.Canonical(); got != want {
+		t.Fatalf("warm summary diverges from cold:\n--- warm ---\n%s--- cold ---\n%s", got, want)
+	}
+}
+
+func TestStoreSingleFunctionInvalidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "graphs.hgcs")
+	reqs, _ := storeRequests(t)
+	st, err := lift.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lift.Run(context.Background(), reqs, lift.Jobs(2), lift.WithStore(st))
+
+	// Rebuild the corpus and change exactly one function in exactly one
+	// unit — the incremental-build scenario. Only that unit may re-lift.
+	dir, err := corpus.BuildDirectory(storeShape, storeSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := dir.Units[0]
+	if _, err := corpus.FlipUnit(flipped); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := lift.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := lift.Run(context.Background(), lift.UnitRequests(dir.Units),
+		lift.Jobs(2), lift.WithStore(st2))
+	if sum.StoreMisses != 1 || sum.StoreHits != len(dir.Units)-1 {
+		t.Fatalf("after one-function flip: hits=%d misses=%d, want %d/1",
+			sum.StoreHits, sum.StoreMisses, len(dir.Units)-1)
+	}
+	for _, r := range sum.Results {
+		if r.Name == flipped.Name && r.FromStore {
+			t.Fatalf("%s: flipped unit served from store", r.Name)
+		}
+		if r.Name != flipped.Name && !r.FromStore {
+			t.Fatalf("%s: unchanged unit re-lifted", r.Name)
+		}
+	}
+}
