@@ -10,8 +10,9 @@
 //	          entrypoints in the core/pipeline/triple packages (the four
 //	          deprecated context-less wrappers were deleted once callers
 //	          migrated; the rule keeps them deleted) and flags calls to
-//	          the Deprecated wrappers that remain (lift.NewCheckpoint,
-//	          lift.ResumeCheckpoint → lift.OpenCheckpoint).
+//	          any wrapper registered as Deprecated (none at present — the
+//	          PR 7 checkpoint wrappers finished their one compatibility
+//	          release and are deleted).
 //	exprnew — flags expr.Expr composite literals outside package expr;
 //	          hand-built expressions bypass the intern table and break
 //	          the pointer-identity invariant behind expr.Equal.

@@ -31,12 +31,36 @@ import "context"
 func Check(ctx context.Context) int { return 0 }
 `
 
+// The stub lift package keeps synthetic NewCheckpoint/ResumeCheckpoint
+// declarations: the real wrappers are deleted and the real deprecation
+// map is empty, but the flagging mechanism stays covered by registering
+// these names via withDeprecated.
 const liftSrc = `package lift
 type Checkpoint struct{}
 func OpenCheckpoint(path string) (*Checkpoint, error) { return &Checkpoint{}, nil }
 func NewCheckpoint(path string) (*Checkpoint, error) { return OpenCheckpoint(path) }
 func ResumeCheckpoint(path string) (*Checkpoint, error) { return OpenCheckpoint(path) }
 `
+
+// withDeprecated installs test-only entries in the ctxless deprecation
+// map for the duration of one test, restoring the real (currently empty)
+// map afterwards.
+func withDeprecated(t *testing.T, entries map[string]string) {
+	t.Helper()
+	saved := deprecatedEntrypoints
+	deprecatedEntrypoints = entries
+	t.Cleanup(func() { deprecatedEntrypoints = saved })
+}
+
+// stubDeprecations marks the stub lift wrappers deprecated, mirroring how
+// the map looked while the PR 7 wrappers were in their compatibility
+// release.
+func stubDeprecations(t *testing.T) {
+	withDeprecated(t, map[string]string{
+		"repro/lift.NewCheckpoint":    "OpenCheckpoint",
+		"repro/lift.ResumeCheckpoint": "OpenCheckpoint",
+	})
+}
 
 const exprSrc = `package expr
 type Expr struct{}
@@ -110,6 +134,7 @@ func Background() Context { return nil }
 }
 
 func TestAnalyzers(t *testing.T) {
+	stubDeprecations(t)
 	imp := stubImporter(t)
 	pass := typecheck(t, "example.com/use", `package use
 
@@ -163,6 +188,7 @@ func use(l *core.Lifter, tr *obs.Tracer) {
 }
 
 func TestCtxlessMessageNamesReplacement(t *testing.T) {
+	stubDeprecations(t)
 	imp := stubImporter(t)
 	pass := typecheck(t, "example.com/msg", `package msg
 import "repro/lift"
@@ -335,7 +361,26 @@ func TestPkgdocAnyFileSuffices(t *testing.T) {
 	}
 }
 
+// TestCtxlessDeprecationMapEmpty pins the post-deletion state: no
+// deprecated wrappers remain registered, so the use-site rule is silent
+// until the next deprecation cycle populates the map.
+func TestCtxlessDeprecationMapEmpty(t *testing.T) {
+	if len(deprecatedEntrypoints) != 0 {
+		t.Fatalf("deprecatedEntrypoints holds %d entries, want 0 (the PR 7 wrappers are deleted): %v",
+			len(deprecatedEntrypoints), deprecatedEntrypoints)
+	}
+	imp := stubImporter(t)
+	pass := typecheck(t, "example.com/clean", `package clean
+import "repro/lift"
+func f() { _, _ = lift.NewCheckpoint("x") }
+`, imp)
+	if diags := Run(pass, []*Analyzer{Ctxless}); len(diags) != 0 {
+		t.Fatalf("empty map still flagged a use: %v", diags)
+	}
+}
+
 func TestRunOrdersDeterministically(t *testing.T) {
+	stubDeprecations(t)
 	imp := stubImporter(t)
 	src := `package ord
 import (

@@ -23,14 +23,13 @@ var entrypointPkgs = map[string]bool{
 // verbs that start a lift, a scheduled run, or a Step-2 check.
 var entrypointPrefixes = []string{"Lift", "Run", "Check"}
 
-// deprecatedEntrypoints maps the FullName of each Deprecated wrapper that
-// is still present (kept one release for compatibility) to its
-// replacement; uses are flagged like the old context-less entrypoints
-// were before their deletion.
-var deprecatedEntrypoints = map[string]string{
-	"repro/lift.NewCheckpoint":    "OpenCheckpoint",
-	"repro/lift.ResumeCheckpoint": "OpenCheckpoint",
-}
+// deprecatedEntrypoints maps the FullName of each Deprecated wrapper
+// kept for one compatibility release to its replacement; uses are
+// flagged like the old context-less entrypoints were before their
+// deletion. The PR 7 checkpoint wrappers (lift.NewCheckpoint,
+// lift.ResumeCheckpoint) served that release and are deleted, so the
+// map is empty until the next deprecation cycle populates it.
+var deprecatedEntrypoints = map[string]string{}
 
 // Ctxless enforces the context-aware entrypoint API: inside the lift,
 // pipeline and triple packages, no exported Lift*/Run*/Check* function or

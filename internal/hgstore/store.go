@@ -15,17 +15,38 @@ package hgstore
 // future miss, never an error: the store is a cache, and its failure mode
 // is re-lifting.
 //
-// Writes are single-writer atomic replaces in the style of the checkpoint
-// journal: the writer serialises the whole container to <path>.tmp,
-// fsyncs, and renames over the destination, all under the store mutex —
-// safe when N pipeline workers Put concurrently, and a reader never
-// observes a half-written file.
+// Writes are atomic replaces: the writer serialises the whole container
+// to a uniquely named temp file in the same directory (os.CreateTemp, so
+// two flushers can never collide on one tmp path), fsyncs, and renames
+// over the destination. A reader therefore never observes a half-written
+// file. Concurrency is handled at two levels:
+//
+//   - in-process, the store mutex serialises the N pipeline workers that
+//     Put concurrently under -jobs N;
+//   - cross-process, an advisory flock on the <path>.lock sidecar
+//     serialises the whole read-merge-write cycle, and the flush *unions*
+//     the current on-disk container with the in-memory records instead of
+//     blind-overwriting — so a daemon and a CLI run (or two CLI runs)
+//     sharing one store file cannot drop each other's entries.
+//
+// A crash between CreateTemp and Rename strands a tmp file; Open sweeps
+// leftovers (safe under the same lock: a live flusher holds it for its
+// whole create-to-rename window, so any tmp visible while the lock is
+// held is orphaned), and a failed Rename removes its own tmp.
+//
+// By default every Put flushes. Long-running writers (the hgserved
+// daemon) switch to buffered mode with SetAutoFlush(false) and call Flush
+// on their own cadence — merge-on-flush makes the deferred write exactly
+// as safe, it just widens the window a crash can lose (a cache's failure
+// mode: re-lifting).
 
 import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,6 +58,15 @@ import (
 const (
 	Magic   = "HGCS"
 	Version = 1
+)
+
+// lockSuffix names the sidecar lock file and tmpMid the unique temp files
+// a flush writes ("<path>.tmp-<random>"); the sweep in Open matches the
+// shared "<path>.tmp" prefix, which also covers the fixed "<path>.tmp"
+// name older writers used.
+const (
+	lockSuffix = ".lock"
+	tmpMid     = ".tmp-"
 )
 
 // File kinds: a store container holds keyed records, a graph file one
@@ -55,21 +85,32 @@ type record struct {
 }
 
 // Store is the content-addressed Hoare-graph cache. All methods are safe
-// for concurrent use.
+// for concurrent use, including against other *Store handles (same or
+// other processes) sharing the file.
 type Store struct {
-	mu      sync.Mutex
-	path    string
-	recs    map[Key]*record
-	order   []Key // insertion order of first sight, for stable files
-	dropped int
+	mu        sync.Mutex
+	path      string
+	recs      map[Key]*record
+	order     []Key // insertion order of first sight, for stable files
+	dropped   int
+	autoFlush bool // false = buffered: Puts stay in memory until Flush
+	dirty     bool // buffered entries not yet flushed
 }
 
 // Open creates or resumes the store at path — one idiom, like
 // lift.OpenCheckpoint: a missing file is an empty store, an existing one
 // is loaded with corrupt, truncated, or version-skewed records dropped
-// (Dropped counts them). Only real I/O errors are returned.
+// (Dropped counts them). Only real I/O errors are returned. Open takes
+// the cross-process lock for the read, so it also sweeps any tmp files a
+// crashed writer stranded in the directory.
 func Open(path string) (*Store, error) {
-	s := &Store{path: path, recs: map[Key]*record{}}
+	s := &Store{path: path, recs: map[Key]*record{}, autoFlush: true}
+	lock, err := acquireFileLock(path)
+	if err != nil {
+		return nil, err
+	}
+	defer lock.release()
+	s.sweepStaleTmps()
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return s, nil
@@ -77,12 +118,40 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hgstore: open: %w", err)
 	}
-	s.load(data)
+	s.scan(data, false)
 	return s, nil
 }
 
-// load parses a container, tolerating every content defect.
-func (s *Store) load(data []byte) {
+// sweepStaleTmps removes orphaned temp files next to the store. Callers
+// hold the file lock: a live flusher keeps the lock across its whole
+// create-to-rename window, so every "<base>.tmp*" entry visible now was
+// stranded by a crash (or by the pre-lock fixed-name writers) and will
+// never be renamed.
+func (s *Store) sweepStaleTmps() {
+	dir, base := filepath.Split(s.path)
+	if dir == "" {
+		dir = "."
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return // a missing directory has no strays; Open surfaces real errors
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if name == base+".tmp" || strings.HasPrefix(name, base+tmpMid) {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// scan parses a container, tolerating every content defect. In load mode
+// (merge false) usable records replace in-memory ones and every defect
+// counts toward Dropped. In merge mode — the flush's read-back of a file
+// another process may have advanced — records only fill keys memory does
+// not hold: keys are content-addressed, so an entry present in both
+// places carries the same outcome and the in-memory copy wins; defects
+// are not counted, since the flush is about to rewrite the file anyway.
+func (s *Store) scan(data []byte, merge bool) {
 	d := wire.NewDecoder(data)
 	if string(d.Bytes(uint64(len(Magic)), "magic")) != Magic ||
 		d.Uvarint("container version") != Version ||
@@ -90,7 +159,9 @@ func (s *Store) load(data []byte) {
 		// Wrong magic, a future container version, or a graph file where
 		// a store was expected: everything it holds is unusable — treat
 		// the whole file as dropped. The next flush rewrites it.
-		s.dropped++
+		if !merge {
+			s.dropped++
+		}
 		return
 	}
 	for len(d.Rest()) > 0 {
@@ -104,14 +175,22 @@ func (s *Store) load(data []byte) {
 		sum := d.Uint64("record checksum")
 		if d.Err() != nil {
 			// Truncated or malformed tail: drop it and everything after.
-			s.dropped++
+			if !merge {
+				s.dropped++
+			}
 			return
 		}
 		if sum != hashBytes(hashSeed, payload) || version != LifterVersion {
-			s.dropped++
+			if !merge {
+				s.dropped++
+			}
 			continue
 		}
-		if _, ok := s.recs[k]; !ok {
+		if _, ok := s.recs[k]; ok {
+			if merge {
+				continue
+			}
+		} else {
 			s.order = append(s.order, k)
 		}
 		s.recs[k] = &record{key: k, payload: payload}
@@ -147,6 +226,30 @@ func (s *Store) Dropped() int {
 	return s.dropped
 }
 
+// SetAutoFlush selects between write-through Puts (true, the default:
+// every Put rewrites the container, the CLI batch behaviour) and buffered
+// mode (false: Puts stay in memory until Flush — the long-running daemon
+// behaviour, where a flush per cached lift would make the container
+// rewrite the hot path). Buffered entries survive only until a crash;
+// that is the cache's stated failure mode, re-lifting.
+func (s *Store) SetAutoFlush(auto bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.autoFlush = auto
+}
+
+// Flush persists buffered entries: a no-op when nothing changed since the
+// last write, otherwise one locked read-merge-write cycle. Callers in
+// buffered mode own the cadence (periodic, end-of-batch, shutdown).
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty {
+		return nil
+	}
+	return s.flushLocked()
+}
+
 // Lookup decodes the entry for key against img. A usable entry returns
 // (entry, payload size, decode wall time, ""); every other outcome is a
 // miss with a reason — "absent", "stale" (dependency code bytes changed),
@@ -173,9 +276,13 @@ func (s *Store) Lookup(key Key, img *image.Image) (*Entry, int, time.Duration, s
 
 // Put seals, encodes and persists one entry, replacing any previous
 // record under the same key, and returns the encoded payload size. The
-// write is atomic (tmp+rename of the whole container) and serialised by
-// the store mutex, so concurrent Puts from -jobs N workers interleave
-// safely. Callers decide storability (see Storable) before putting.
+// write is atomic (unique tmp + rename of the whole container), serialised
+// in-process by the store mutex and cross-process by the file lock, so
+// concurrent Puts from -jobs N workers and from other processes sharing
+// the store interleave safely. Sealing mutates the entry, so one *Entry
+// must not be passed to concurrent Puts — each lift produces its own. In
+// buffered mode (SetAutoFlush(false)) the entry only reaches disk at the
+// next Flush. Callers decide storability (see Storable) before putting.
 func (s *Store) Put(key Key, e *Entry, img *image.Image) (int, error) {
 	if err := e.Seal(img); err != nil {
 		return 0, err
@@ -187,13 +294,30 @@ func (s *Store) Put(key Key, e *Entry, img *image.Image) (int, error) {
 		s.order = append(s.order, key)
 	}
 	s.recs[key] = &record{key: key, payload: payload}
+	s.dirty = true
+	if !s.autoFlush {
+		return len(payload), nil
+	}
 	return len(payload), s.flushLocked()
 }
 
-// flushLocked rewrites the container atomically. Records are emitted in
-// first-insertion order, so re-running an identical corpus rewrites an
-// identical file.
+// flushLocked rewrites the container atomically under the cross-process
+// file lock: read back whatever is on disk and union it into memory (so a
+// concurrent process's entries survive this writer's rewrite), then
+// serialise everything to a unique temp file and rename it into place.
+// Records are emitted in first-insertion order, so re-running an
+// identical corpus rewrites an identical file.
 func (s *Store) flushLocked() error {
+	lock, err := acquireFileLock(s.path)
+	if err != nil {
+		return err
+	}
+	defer lock.release()
+	if data, err := os.ReadFile(s.path); err == nil {
+		s.scan(data, true)
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("hgstore: flush read-back: %w", err)
+	}
 	buf := []byte(Magic)
 	buf = wire.AppendUvarint(buf, Version)
 	buf = append(buf, fileKindStore)
@@ -207,11 +331,15 @@ func (s *Store) flushLocked() error {
 		buf = wire.AppendBytes(buf, r.payload)
 		buf = wire.AppendUint64(buf, hashBytes(hashSeed, r.payload))
 	}
-	tmp := s.path + ".tmp"
-	f, err := os.Create(tmp)
+	dir, base := filepath.Split(s.path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+tmpMid+"*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
 		os.Remove(tmp)
@@ -226,7 +354,13 @@ func (s *Store) flushLocked() error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, s.path)
+	if err := os.Rename(tmp, s.path); err != nil {
+		// A failed rename must not strand the tmp file next to the store.
+		os.Remove(tmp)
+		return err
+	}
+	s.dirty = false
+	return nil
 }
 
 // Keys returns the stored keys sorted for deterministic iteration (tests

@@ -179,8 +179,21 @@ func (m *Metrics) Emit(e Event) {
 		case "write":
 			m.Counter("store.writes").Add(1)
 			m.Counter("store.bytes").Add(e.N)
+		case "flush":
+			m.Counter("store.flushes").Add(1)
+			m.Histogram("store.flush.wall").Observe(e.Wall)
 		default:
 			m.Counter("store." + e.Status).Add(1)
+		}
+	case KServe:
+		switch e.Status {
+		case "admit":
+			m.Counter("serve.admitted").Add(1)
+		case "reject":
+			m.Counter("serve.rejected").Add(1)
+		default:
+			m.Counter("serve.done." + e.Status).Add(1)
+			m.Histogram("serve.request.wall").Observe(e.Wall)
 		}
 	}
 }

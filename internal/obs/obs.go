@@ -53,7 +53,8 @@ const (
 	KShardStart                // dist: a serialized shard was handed to a worker (N = work units)
 	KShardDone                 // dist: a shard's verdicts merged (Status, N = solver queries, Hits = memo hits, Wall)
 	KWorkerRestart             // dist: a worker crashed or timed out and its shard was re-scheduled (Status, N = attempt)
-	KStore                     // hgstore: graph-store activity (Status = hit | miss | write | write-error; N = payload bytes, Wall = decode latency, Detail = miss reason / error)
+	KStore                     // hgstore: graph-store activity (Status = hit | miss | write | write-error | flush; N = payload bytes or flushed entries, Wall = decode/flush latency, Detail = miss reason / error)
+	KServe                     // serve: daemon request lifecycle (Status = admit | reject | request outcome; Func = request id, Detail = tenant, N = queue depth, Wall = request latency)
 )
 
 // kindNames renders the kinds in the JSONL trace.
@@ -79,6 +80,7 @@ var kindNames = [...]string{
 	KShardDone:     "shard-done",
 	KWorkerRestart: "worker-restart",
 	KStore:         "store",
+	KServe:         "serve",
 }
 
 // String renders the kind.
@@ -378,6 +380,44 @@ func (t *Tracer) StoreError(name string, err error) {
 		return
 	}
 	t.Emit(Event{Kind: KStore, Func: name, Status: "write-error", Detail: err.Error()})
+}
+
+// StoreFlush marks the graph store persisting its buffered entries in one
+// locked read-merge-write cycle (the daemon's write mode): entries is how
+// many the store holds after the merge, wall the cycle's latency.
+func (t *Tracer) StoreFlush(entries int, wall time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KStore, Status: "flush", N: uint64(entries), Wall: wall})
+}
+
+// ServeAdmit marks the daemon admitting one submitted request into the
+// bounded lift queue: id names the request, tenant the submitting client
+// class, depth the queue depth after admission.
+func (t *Tracer) ServeAdmit(id, tenant string, depth int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KServe, Func: id, Status: "admit", Detail: tenant, N: uint64(depth)})
+}
+
+// ServeReject marks an admission rejection — the global queue or the
+// tenant's share of it is saturated; the client saw 429 + Retry-After.
+func (t *Tracer) ServeReject(id, tenant, reason string) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KServe, Func: id, Status: "reject", Detail: tenant + ": " + reason})
+}
+
+// ServeDone marks one admitted request completing: status is the request
+// outcome ("ok", "cancelled", "error"), wall the admit-to-finish latency.
+func (t *Tracer) ServeDone(id, tenant, status string, wall time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KServe, Func: id, Status: status, Detail: tenant, Wall: wall})
 }
 
 // Lint marks one hglint diagnostic against the graph of fn: severity

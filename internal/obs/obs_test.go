@@ -176,6 +176,40 @@ func TestMetricsAggregation(t *testing.T) {
 	}
 }
 
+// TestMetricsServeEvents covers the daemon's slice of the taxonomy:
+// admission, rejection and completion counters plus the request-latency
+// histogram, and the store-flush event the buffered write mode emits.
+func TestMetricsServeEvents(t *testing.T) {
+	m := NewMetrics()
+	tr := NewTracer(m)
+	tr.ServeAdmit("r1", "alice", 1)
+	tr.ServeAdmit("r2", "bob", 2)
+	tr.ServeReject("r3", "bob", "queue full")
+	tr.ServeDone("r1", "alice", "ok", 3*time.Millisecond)
+	tr.ServeDone("r2", "bob", "cancelled", time.Millisecond)
+	tr.StoreFlush(42, time.Millisecond)
+
+	want := map[string]uint64{
+		"serve.admitted":       2,
+		"serve.rejected":       1,
+		"serve.done.ok":        1,
+		"serve.done.cancelled": 1,
+		"store.flushes":        1,
+	}
+	got := m.CounterSnapshot()
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %d, want %d", name, got[name], v)
+		}
+	}
+	if h := m.Histogram("serve.request.wall"); h.Count() != 2 || h.Sum() != 4*time.Millisecond {
+		t.Fatalf("serve.request.wall count=%d sum=%s", h.Count(), h.Sum())
+	}
+	if h := m.Histogram("store.flush.wall"); h.Count() != 1 {
+		t.Fatalf("store.flush.wall count=%d", h.Count())
+	}
+}
+
 // TestMetricsDumpDeterministic replays the same stream into two
 // registries and requires byte-identical counter sections.
 func TestMetricsDumpDeterministic(t *testing.T) {

@@ -99,16 +99,16 @@ type Checkpoint struct {
 // keeps the create/resume decision with the file rather than a flag.
 func OpenCheckpoint(path string) (*Checkpoint, error) {
 	if _, err := os.Stat(path); err == nil {
-		return ResumeCheckpoint(path)
+		return resumeCheckpoint(path)
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
-	return CreateCheckpoint(path)
+	return createCheckpoint(path)
 }
 
-// CreateCheckpoint starts a fresh journal at path, truncating any
-// existing one (the non-resume form of the batch commands).
-func CreateCheckpoint(path string) (*Checkpoint, error) {
+// createCheckpoint starts a fresh journal at path, truncating any
+// existing one.
+func createCheckpoint(path string) (*Checkpoint, error) {
 	c := &Checkpoint{path: path, byKey: map[string]int{}}
 	if err := c.flushLocked(); err != nil {
 		return nil, err
@@ -116,12 +116,12 @@ func CreateCheckpoint(path string) (*Checkpoint, error) {
 	return c, nil
 }
 
-// ResumeCheckpoint loads the journal at path, tolerating a missing file
+// resumeCheckpoint loads the journal at path, tolerating a missing file
 // (an interrupted run may have died before its first append) and a
 // truncated or corrupt tail (a crash mid-write of a non-atomic copy):
 // loading stops at the first unparseable line and Skipped reports how
 // many lines were dropped.
-func ResumeCheckpoint(path string) (*Checkpoint, error) {
+func resumeCheckpoint(path string) (*Checkpoint, error) {
 	c := &Checkpoint{path: path, byKey: map[string]int{}}
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -186,7 +186,7 @@ func (c *Checkpoint) SetFaults(inj *faultinject.Injector) {
 }
 
 // Skipped reports how many journal lines were dropped as unparseable
-// during ResumeCheckpoint.
+// while resuming an existing journal.
 func (c *Checkpoint) Skipped() int {
 	if c == nil {
 		return 0

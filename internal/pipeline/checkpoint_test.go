@@ -52,7 +52,7 @@ func checkpointDir(t *testing.T) []Task {
 func TestCheckpointRoundTrip(t *testing.T) {
 	tasks := checkpointDir(t)
 	path := filepath.Join(t.TempDir(), "run.ckpt")
-	cp, err := CreateCheckpoint(path)
+	cp, err := createCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Fatalf("journal holds %d results, want %d", cp.Len(), len(tasks))
 	}
 
-	resumed, err := ResumeCheckpoint(path)
+	resumed, err := resumeCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 // eight size classes).
 func TestCheckpointScoped(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.ckpt")
-	cp, err := CreateCheckpoint(path)
+	cp, err := createCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestCheckpointScoped(t *testing.T) {
 	if err := b.Append(Result{Name: "fig3", Status: core.StatusTimeout, Attempts: 1}); err != nil {
 		t.Fatal(err)
 	}
-	resumed, err := ResumeCheckpoint(path)
+	resumed, err := resumeCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestCheckpointScoped(t *testing.T) {
 func TestCheckpointWriteErrorResilience(t *testing.T) {
 	tasks := smallDir(t)
 	path := filepath.Join(t.TempDir(), "run.ckpt")
-	cp, err := CreateCheckpoint(path)
+	cp, err := createCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestCheckpointWriteErrorResilience(t *testing.T) {
 	if errEvents != wErrs {
 		t.Fatalf("%d write-error events, %d faults fired", errEvents, wErrs)
 	}
-	resumed, err := ResumeCheckpoint(path)
+	resumed, err := resumeCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestCheckpointWriteErrorResilience(t *testing.T) {
 func TestCheckpointCorruptTail(t *testing.T) {
 	tasks := smallDir(t)
 	path := filepath.Join(t.TempDir(), "run.ckpt")
-	cp, err := CreateCheckpoint(path)
+	cp, err := createCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestCheckpointCorruptTail(t *testing.T) {
 	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	resumed, err := ResumeCheckpoint(path)
+	resumed, err := resumeCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestCheckpointCorruptTail(t *testing.T) {
 // TestCheckpointMissingFile resumes from a path that does not exist — an
 // interrupted run may have died before its first append.
 func TestCheckpointMissingFile(t *testing.T) {
-	cp, err := ResumeCheckpoint(filepath.Join(t.TempDir(), "absent.ckpt"))
+	cp, err := resumeCheckpoint(filepath.Join(t.TempDir(), "absent.ckpt"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestResumeDeterminism(t *testing.T) {
 	// Run 1: same faults plus a kill switch that cancels the run after
 	// half the tasks completed.
 	path := filepath.Join(t.TempDir(), "run.ckpt")
-	cp, err := CreateCheckpoint(path)
+	cp, err := createCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestResumeDeterminism(t *testing.T) {
 	}
 
 	// Run 2: resume from the journal with the same fault seed (no kill).
-	resumedCP, err := ResumeCheckpoint(path)
+	resumedCP, err := resumeCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}

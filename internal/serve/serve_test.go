@@ -1,0 +1,349 @@
+package serve_test
+
+// End-to-end coverage of the daemon engine through a real HTTP server
+// and the serveclient package: streaming lifts, store-backed dedup with
+// byte-identical canonical summaries, bounded-queue and per-tenant 429
+// backpressure with Retry-After, and graceful shutdown mid-batch
+// (cancelled in-flight lifts, cleanly closed NDJSON streams, exactly one
+// store flush).
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/faultinject"
+	"repro/internal/hgstore"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/serveclient"
+)
+
+// scenarioSpecs converts the corpus scenarios into submission specs, one
+// function each.
+func scenarioSpecs(t *testing.T) []serveclient.Spec {
+	t.Helper()
+	scenarios, err := corpus.AllScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]serveclient.Spec, 0, len(scenarios))
+	for _, s := range scenarios {
+		specs = append(specs, serveclient.Spec{Name: s.Name, ELF: s.Raw, Funcs: []uint64{s.FuncAddr}})
+	}
+	return specs
+}
+
+// startEngine wires an engine to a live HTTP server and returns a client.
+func startEngine(t *testing.T, opts serve.Options) (*serve.Engine, *serveclient.Client) {
+	t.Helper()
+	e := serve.New(opts)
+	srv := httptest.NewServer(e.Handler())
+	t.Cleanup(srv.Close)
+	return e, &serveclient.Client{BaseURL: srv.URL, Tenant: "test"}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestServeSingleSubmission(t *testing.T) {
+	metrics := obs.NewMetrics()
+	e, client := startEngine(t, serve.Options{Metrics: metrics})
+	defer e.Shutdown(context.Background())
+	specs := scenarioSpecs(t)
+
+	res, err := client.Lift(context.Background(), specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 1 {
+		t.Fatalf("got %d result lines, want 1", len(res.Results))
+	}
+	if res.Results[0].Status == "" || res.Results[0].FromStore {
+		t.Fatalf("result = %+v, want a fresh (non-store) status", res.Results[0])
+	}
+	if res.Summary.Canonical == "" {
+		t.Fatal("summary line carries no canonical rendering")
+	}
+	// Progress lines bracket the lift.
+	var starts, finishes int
+	for _, ln := range res.Tasks {
+		switch ln.Event {
+		case "start":
+			starts++
+		case "finish":
+			finishes++
+		}
+	}
+	if starts != 1 || finishes != 1 {
+		t.Fatalf("progress: %d starts, %d finishes, want 1/1", starts, finishes)
+	}
+	if got := metrics.CounterSnapshot(); got["serve.admitted"] != 1 || got["serve.done.ok"] != 1 {
+		t.Fatalf("serve counters = %v", got)
+	}
+}
+
+// TestServeDedupByteIdentical is the tentpole acceptance test: the same
+// batch submitted twice must be answered entirely from the store on the
+// second pass — zero lifts — with a byte-identical canonical summary.
+func TestServeDedupByteIdentical(t *testing.T) {
+	st, err := hgstore.Open(filepath.Join(t.TempDir(), "serve.hgcs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := obs.NewMetrics()
+	e, client := startEngine(t, serve.Options{Store: st, Metrics: metrics})
+	defer e.Shutdown(context.Background())
+	specs := scenarioSpecs(t)
+
+	cold, err := client.Lift(context.Background(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Summary.StoreMisses != len(specs) || cold.Summary.StoreHits != 0 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/%d",
+			cold.Summary.StoreHits, cold.Summary.StoreMisses, len(specs))
+	}
+
+	warm, err := client.Lift(context.Background(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Summary.StoreMisses != 0 || warm.Summary.StoreHits != len(specs) {
+		t.Fatalf("warm run performed lifts: hits=%d misses=%d, want %d/0",
+			warm.Summary.StoreHits, warm.Summary.StoreMisses, len(specs))
+	}
+	for _, ln := range warm.Results {
+		if !ln.FromStore {
+			t.Fatalf("warm result %q not served from store", ln.Name)
+		}
+	}
+	if warm.Summary.Canonical != cold.Summary.Canonical {
+		t.Fatalf("canonical summaries diverge:\n--- warm ---\n%s--- cold ---\n%s",
+			warm.Summary.Canonical, cold.Summary.Canonical)
+	}
+	// The cold run's entries were flushed: a fresh handle sees them all.
+	reopened, err := hgstore.Open(st.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != len(specs) {
+		t.Fatalf("flushed store holds %d entries, want %d", reopened.Len(), len(specs))
+	}
+	if got := metrics.CounterSnapshot(); got["store.flushes"] != 1 {
+		t.Fatalf("store.flushes = %d, want 1 (cold run only)", got["store.flushes"])
+	}
+}
+
+// TestServeBackpressure429 saturates a one-slot engine with stalled
+// lifts and checks both rejection axes: global queue depth and the
+// per-tenant share, each answered with 429 + Retry-After.
+func TestServeBackpressure429(t *testing.T) {
+	metrics := obs.NewMetrics()
+	inj := faultinject.New(faultinject.Config{Seed: 7, StallRate: 1, StallFor: time.Minute})
+	e, client := startEngine(t, serve.Options{
+		Metrics:     metrics,
+		Parallel:    1,
+		QueueDepth:  1,
+		TenantShare: 2,
+		Faults:      inj,
+	})
+	specs := scenarioSpecs(t)
+
+	// Fill the run slot and the queue with stalled submissions.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Both end cancelled at shutdown; transport errors are fine too.
+			client.Lift(context.Background(), specs[0])
+		}()
+	}
+	waitFor(t, "two admitted submissions", func() bool {
+		return metrics.CounterSnapshot()["serve.admitted"] == 2
+	})
+
+	// Global capacity (Parallel+QueueDepth = 2) is exhausted.
+	_, err := client.Lift(context.Background(), specs[0])
+	var re *serveclient.RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("saturated submit returned %v, want *RetryError", err)
+	}
+	if re.After < time.Second {
+		t.Fatalf("Retry-After = %s, want >= 1s", re.After)
+	}
+
+	// On a roomy engine with TenantShare=1, the same tenant's second
+	// in-flight submission is rejected by its share, not global capacity.
+	otherMetrics := obs.NewMetrics()
+	otherEngine, otherClient := startEngine(t, serve.Options{
+		Metrics:     otherMetrics,
+		Parallel:    4,
+		QueueDepth:  4,
+		TenantShare: 1,
+		Faults:      inj,
+	})
+	var tw sync.WaitGroup
+	tw.Add(1)
+	go func() {
+		defer tw.Done()
+		otherClient.Lift(context.Background(), specs[0])
+	}()
+	waitFor(t, "one admitted submission", func() bool {
+		return otherMetrics.CounterSnapshot()["serve.admitted"] == 1
+	})
+	_, err = otherClient.Lift(context.Background(), specs[0])
+	if !errors.As(err, &re) {
+		t.Fatalf("tenant-saturated submit returned %v, want *RetryError", err)
+	}
+	if !strings.Contains(re.Reason, "tenant") {
+		t.Fatalf("rejection reason = %q, want the tenant share", re.Reason)
+	}
+
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := otherEngine.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	tw.Wait()
+	if got := metrics.CounterSnapshot(); got["serve.rejected"] == 0 {
+		t.Fatalf("serve.rejected = %d, want > 0", got["serve.rejected"])
+	}
+}
+
+// TestServeShutdownMidBatch pins the graceful-exit contract: SIGTERM
+// (modelled by Engine.Shutdown) mid-batch cancels in-flight lifts to
+// StatusCancelled, still closes the NDJSON stream with its result and
+// summary lines, flushes the store exactly once, and flips /healthz.
+func TestServeShutdownMidBatch(t *testing.T) {
+	st, err := hgstore.Open(filepath.Join(t.TempDir(), "serve.hgcs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := obs.NewMetrics()
+	ring := obs.NewRing(256)
+	inj := faultinject.New(faultinject.Config{Seed: 9, StallRate: 1, StallFor: time.Minute})
+	e, client := startEngine(t, serve.Options{
+		Store:    st,
+		Metrics:  metrics,
+		Sinks:    []obs.Sink{ring},
+		Parallel: 1,
+		Faults:   inj,
+	})
+	specs := scenarioSpecs(t)
+
+	type outcome struct {
+		res *serveclient.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := client.Lift(context.Background(), specs...)
+		done <- outcome{res, err}
+	}()
+	waitFor(t, "a task to start", func() bool {
+		for _, ev := range ring.Events() {
+			if ev.Kind == obs.KTaskStart {
+				return true
+			}
+		}
+		return false
+	})
+
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("stream did not close cleanly: %v", out.err)
+	}
+	if out.res.Summary.Cancelled == 0 {
+		t.Fatalf("summary reports no cancellations: %+v", out.res.Summary)
+	}
+	if len(out.res.Results) != len(specs) {
+		t.Fatalf("stream carries %d result lines, want %d", len(out.res.Results), len(specs))
+	}
+	cancelled := 0
+	for _, ln := range out.res.Results {
+		if ln.Status == "cancelled" {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no result line reports StatusCancelled")
+	}
+	if got := metrics.CounterSnapshot(); got["store.flushes"] != 1 {
+		t.Fatalf("store.flushes = %d, want exactly 1 (the shutdown flush)", got["store.flushes"])
+	}
+	if got := metrics.CounterSnapshot(); got["serve.done.cancelled"] != 1 {
+		t.Fatalf("serve.done.cancelled = %d, want 1", got["serve.done.cancelled"])
+	}
+
+	// The engine is closed: new submissions bounce with 503.
+	_, err = client.Lift(context.Background(), specs[0])
+	var se *serveclient.StatusError
+	if !errors.As(err, &se) || se.Code != 503 {
+		t.Fatalf("post-shutdown submit returned %v, want 503", err)
+	}
+}
+
+func TestServeBadSubmissions(t *testing.T) {
+	e, client := startEngine(t, serve.Options{})
+	defer e.Shutdown(context.Background())
+	specs := scenarioSpecs(t)
+
+	var se *serveclient.StatusError
+	if _, err := client.Lift(context.Background()); !errors.As(err, &se) || se.Code != 400 {
+		t.Fatalf("empty submission returned %v, want 400", err)
+	}
+	if _, err := client.Lift(context.Background(), serveclient.Spec{Name: "junk", ELF: []byte("not an elf")}); !errors.As(err, &se) || se.Code != 400 {
+		t.Fatalf("junk ELF returned %v, want 400", err)
+	}
+	if _, err := client.Lift(context.Background(), specs[0], specs[0]); !errors.As(err, &se) || se.Code != 400 {
+		t.Fatalf("duplicate names returned %v, want 400", err)
+	}
+	if !strings.Contains(se.Reason, "duplicate") {
+		t.Fatalf("reason = %q, want duplicate-name explanation", se.Reason)
+	}
+}
+
+func TestServeMetricz(t *testing.T) {
+	st, err := hgstore.Open(filepath.Join(t.TempDir(), "serve.hgcs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, client := startEngine(t, serve.Options{Store: st})
+	defer e.Shutdown(context.Background())
+	specs := scenarioSpecs(t)
+	if _, err := client.Lift(context.Background(), specs[0]); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := client.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"serve.admitted", "serve.done.ok", "serve.request.wall", "store.misses"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("/metricz dump missing %q:\n%s", want, dump)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package serve
+
+// The HTTP/JSON wire format shared by the daemon and serveclient. A
+// submission is one POST /v1/lift body; the response is an NDJSON stream
+// of Lines: task progress while the pipeline runs, one result line per
+// requested lift, and a final summary line carrying the canonical
+// rendering — the byte string a duplicate submission must reproduce
+// exactly from the store.
+
+// BinarySpec names one ELF binary to lift. With Funcs set, each address
+// is lifted as a single function (the shared-object workflow); without,
+// the binary is lifted whole from its entry point.
+type BinarySpec struct {
+	Name string `json:"name"`
+	// ELF is the raw image bytes (base64 in JSON).
+	ELF   []byte   `json:"elf"`
+	Funcs []uint64 `json:"funcs,omitempty"`
+}
+
+// Submission is the body of POST /v1/lift: a batch of one or more
+// binaries from one tenant.
+type Submission struct {
+	Tenant   string       `json:"tenant,omitempty"`
+	Binaries []BinarySpec `json:"binaries"`
+}
+
+// Line types of the NDJSON response stream.
+const (
+	LineTask    = "task"    // progress: a scheduled lift started/finished or hit the store
+	LineResult  = "result"  // one final per-task verdict
+	LineSummary = "summary" // exactly one, last: run totals + canonical rendering
+	LineError   = "error"   // terminal: the submission could not be processed
+)
+
+// Line is one NDJSON record of the response stream.
+type Line struct {
+	Type string `json:"type"`
+	// Name is the task the line refers to (task and result lines).
+	Name string `json:"name,omitempty"`
+	// Event refines task lines: "start", "finish", "store-hit",
+	// "store-miss".
+	Event string `json:"event,omitempty"`
+	// Status is the core.Status string of a finished task or result.
+	Status string `json:"status,omitempty"`
+	// Detail carries free-form context (store-miss reason, error text).
+	Detail string `json:"detail,omitempty"`
+	// FromStore marks a result answered from the graph store (no lift).
+	FromStore bool `json:"from_store,omitempty"`
+	// WallNS is the task/request wall time in nanoseconds.
+	WallNS int64 `json:"wall_ns,omitempty"`
+
+	// Summary-line totals.
+	Lifted      int `json:"lifted,omitempty"`
+	Cancelled   int `json:"cancelled,omitempty"`
+	Failed      int `json:"failed,omitempty"`
+	StoreHits   int `json:"store_hits,omitempty"`
+	StoreMisses int `json:"store_misses,omitempty"`
+	// Canonical is the Summary.Canonical rendering: deterministic in the
+	// inputs, so a duplicate submission answered from the store matches
+	// the original byte for byte.
+	Canonical string `json:"canonical,omitempty"`
+}
+
+// RejectBody is the JSON body of a 429 (saturated) or 503 (shutting
+// down) response; RetryAfterS mirrors the Retry-After header.
+type RejectBody struct {
+	Error       string `json:"error"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}

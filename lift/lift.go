@@ -69,27 +69,11 @@ type (
 // OpenCheckpoint opens the checkpoint journal at path: an existing file
 // is resumed (a corrupt tail is dropped and reported by Skipped), a
 // missing one starts a fresh journal. Delete the file first for a
-// guaranteed-fresh run.
+// guaranteed-fresh run. This is the only checkpoint entrypoint: the
+// deprecated NewCheckpoint/ResumeCheckpoint wrappers served their one
+// compatibility release and are gone.
 func OpenCheckpoint(path string) (*Checkpoint, error) {
 	return pipeline.OpenCheckpoint(path)
-}
-
-// NewCheckpoint starts a fresh checkpoint journal at path, truncating any
-// existing one.
-//
-// Deprecated: use OpenCheckpoint, deleting the file first when the run
-// must not resume. NewCheckpoint will be removed next release.
-func NewCheckpoint(path string) (*Checkpoint, error) {
-	return pipeline.CreateCheckpoint(path)
-}
-
-// ResumeCheckpoint loads the checkpoint journal at path (a missing file
-// yields an empty journal).
-//
-// Deprecated: use OpenCheckpoint, which resumes an existing journal and
-// creates a missing one. ResumeCheckpoint will be removed next release.
-func ResumeCheckpoint(path string) (*Checkpoint, error) {
-	return pipeline.ResumeCheckpoint(path)
 }
 
 // OpenStore opens the Hoare-graph store at path: an existing container is

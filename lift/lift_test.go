@@ -65,28 +65,22 @@ func TestFacadeRetryAndCheckpoint(t *testing.T) {
 	}
 }
 
-// TestDeprecatedCheckpointWrappers pins the compatibility contract of the
-// two wrappers kept for one release: NewCheckpoint truncates,
-// ResumeCheckpoint loads, and both are thin over the same journal that
-// OpenCheckpoint manages.
-func TestDeprecatedCheckpointWrappers(t *testing.T) {
+// TestOpenCheckpointIsTheOnlyEntrypoint pins the post-deprecation
+// contract: OpenCheckpoint both creates a missing journal and resumes an
+// existing one, and the NewCheckpoint/ResumeCheckpoint wrappers deleted
+// after their one compatibility release stay deleted (the ctxless
+// analyzer's deprecation map is empty — see internal/analysis).
+func TestOpenCheckpointIsTheOnlyEntrypoint(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "compat.ckpt")
-	cp, err := lift.NewCheckpoint(path) //reprovet:ignore ctxless
+	cp, err := lift.OpenCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cp.Len() != 0 {
 		t.Fatalf("fresh journal Len = %d, want 0", cp.Len())
 	}
-	resumed, err := lift.ResumeCheckpoint(path) //reprovet:ignore ctxless
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resumed.Len() != 0 || resumed.Skipped() != 0 {
-		t.Fatalf("resumed: len=%d skipped=%d, want 0/0", resumed.Len(), resumed.Skipped())
-	}
-	// And the unified form resumes the same file.
-	if opened, err := lift.OpenCheckpoint(path); err != nil || opened.Len() != 0 {
-		t.Fatalf("OpenCheckpoint after NewCheckpoint: len=%v err=%v", opened.Len(), err)
+	// Reopening resumes the same (still empty) file.
+	if opened, err := lift.OpenCheckpoint(path); err != nil || opened.Len() != 0 || opened.Skipped() != 0 {
+		t.Fatalf("reopen: len=%v skipped=%v err=%v", opened.Len(), opened.Skipped(), err)
 	}
 }

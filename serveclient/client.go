@@ -1,0 +1,210 @@
+// Package serveclient is the client side of the hgserved HTTP/JSON API:
+// it submits ELF binaries (single or batch) to a daemon and consumes the
+// NDJSON response stream — task progress while the pipeline runs, one
+// result line per lift, and the final summary line whose Canonical
+// rendering is byte-identical across duplicate submissions.
+//
+// Backpressure is a first-class outcome, not a transport failure: a
+// saturated daemon answers 429 with a Retry-After hint, surfaced here as
+// *RetryError so load generators and batch drivers can implement honest
+// backoff.
+package serveclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Wire aliases, so client code needs only this package.
+type (
+	// Spec names one ELF binary to lift (see serve.BinarySpec).
+	Spec = serve.BinarySpec
+	// Line is one NDJSON record of the response stream.
+	Line = serve.Line
+)
+
+// Client talks to one hgserved daemon.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8441".
+	BaseURL string
+	// Tenant labels this client's submissions for admission control
+	// (empty = "anonymous").
+	Tenant string
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+// RetryError reports a 429 rejection: the daemon's queue (or this
+// tenant's share of it) is saturated and the client should retry after
+// the hinted delay.
+type RetryError struct {
+	Reason string
+	After  time.Duration
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("serveclient: saturated (%s), retry after %s", e.Reason, e.After)
+}
+
+// StatusError reports any other non-200 response.
+type StatusError struct {
+	Code   int
+	Reason string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serveclient: HTTP %d: %s", e.Code, e.Reason)
+}
+
+// Stream is an open NDJSON response. Lines arrive live while the daemon
+// lifts; the stream ends (io.EOF from Next) after the summary line.
+type Stream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+// Next returns the next line, or io.EOF when the stream is done.
+func (s *Stream) Next() (Line, error) {
+	for s.sc.Scan() {
+		raw := bytes.TrimSpace(s.sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ln Line
+		if err := json.Unmarshal(raw, &ln); err != nil {
+			return Line{}, fmt.Errorf("serveclient: bad stream line %q: %w", raw, err)
+		}
+		return ln, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return Line{}, err
+	}
+	return Line{}, io.EOF
+}
+
+// Close releases the response body; safe after EOF.
+func (s *Stream) Close() error { return s.body.Close() }
+
+// Result is a fully drained stream, split by line type.
+type Result struct {
+	Tasks   []Line // progress lines, in arrival order
+	Results []Line // one per requested lift, in request order
+	Summary Line   // the final summary line
+}
+
+// Submit sends one submission and returns the open stream. A saturated
+// daemon yields *RetryError; other failures yield *StatusError or a
+// transport error.
+func (c *Client) Submit(ctx context.Context, specs ...Spec) (*Stream, error) {
+	body, err := json.Marshal(serve.Submission{Tenant: c.Tenant, Binaries: specs})
+	if err != nil {
+		return nil, err
+	}
+	url := strings.TrimSuffix(c.BaseURL, "/") + "/v1/lift"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var rb serve.RejectBody
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if err := json.Unmarshal(raw, &rb); err != nil {
+			rb.Error = strings.TrimSpace(string(raw))
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			after := time.Duration(rb.RetryAfterS) * time.Second
+			if h := resp.Header.Get("Retry-After"); h != "" {
+				if secs, err := strconv.Atoi(h); err == nil {
+					after = time.Duration(secs) * time.Second
+				}
+			}
+			return nil, &RetryError{Reason: rb.Error, After: after}
+		}
+		return nil, &StatusError{Code: resp.StatusCode, Reason: rb.Error}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	return &Stream{body: resp.Body, sc: sc}, nil
+}
+
+// Lift submits and drains the whole stream, returning the split lines.
+// It is the convenience form for callers that do not need live progress.
+func (c *Client) Lift(ctx context.Context, specs ...Spec) (*Result, error) {
+	st, err := c.Submit(ctx, specs...)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	res := &Result{}
+	sawSummary := false
+	for {
+		ln, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch ln.Type {
+		case serve.LineTask:
+			res.Tasks = append(res.Tasks, ln)
+		case serve.LineResult:
+			res.Results = append(res.Results, ln)
+		case serve.LineSummary:
+			res.Summary = ln
+			sawSummary = true
+		case serve.LineError:
+			return nil, fmt.Errorf("serveclient: daemon error: %s", ln.Detail)
+		}
+	}
+	if !sawSummary {
+		return nil, fmt.Errorf("serveclient: stream ended without a summary line")
+	}
+	return res, nil
+}
+
+// Metrics fetches the daemon's /metricz dump.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	url := strings.TrimSuffix(c.BaseURL, "/") + "/metricz"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &StatusError{Code: resp.StatusCode, Reason: strings.TrimSpace(string(raw))}
+	}
+	return string(raw), nil
+}
