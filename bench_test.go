@@ -29,6 +29,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/memmodel"
 	"repro/internal/pred"
+	"repro/internal/ptr"
 	"repro/internal/sem"
 	"repro/internal/solver"
 	"repro/internal/triple"
@@ -290,6 +291,67 @@ func BenchmarkAblationNoForkUnknown(b *testing.B) {
 // provenance-separation assumptions: most functions then fail.
 func BenchmarkAblationNoBaseAssumptions(b *testing.B) {
 	benchAblation(b, func(cfg *core.Config) { cfg.Sem.AssumeBaseSeparation = false })
+}
+
+// Pointer pre-pass benchmarks: the pathological ptr_ directory lifted
+// without and with per-function fact tables. The pair's fork+destroy and
+// wall-time ratio is the PR-10 payoff recorded in BENCH_PR10.json; the
+// factless run deliberately includes the forkbomb unit's budget-exhausted
+// timeout, because that exhausted budget IS the cost being measured.
+var (
+	benchPtrDir  *corpus.Directory
+	benchPtrOnce sync.Once
+)
+
+func ptrPathology(b *testing.B) *corpus.Directory {
+	b.Helper()
+	benchPtrOnce.Do(func() {
+		dir, err := corpus.PtrPathology()
+		if err != nil {
+			panic(err)
+		}
+		benchPtrDir = dir
+	})
+	return benchPtrDir
+}
+
+func benchPtrPathology(b *testing.B, facts bool) {
+	dir := ptrPathology(b)
+	opts := []lift.Option{lift.Jobs(1)}
+	if facts {
+		opts = append(opts, lift.PointerFacts())
+	}
+	var sum *lift.Summary
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum = lift.Run(context.Background(), lift.UnitRequests(dir.Units), opts...)
+		if sum.Panics != 0 {
+			b.Fatalf("%d lifts panicked", sum.Panics)
+		}
+	}
+	b.ReportMetric(float64(sum.Stats.Sem.Forks+sum.Stats.Sem.Destroys), "fork+destroy")
+}
+
+func BenchmarkPtrPathology(b *testing.B)      { benchPtrPathology(b, false) }
+func BenchmarkPtrPathologyFacts(b *testing.B) { benchPtrPathology(b, true) }
+
+// BenchmarkPtrAnalyze isolates the pre-pass itself — one abstract-
+// interpretation walk plus the O(regions²) pair stage per unit — to show
+// its cost is noise next to the exploration it saves.
+func BenchmarkPtrAnalyze(b *testing.B) {
+	dir := ptrPathology(b)
+	var facts int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		facts = 0
+		for _, u := range dir.Units {
+			an := ptr.Analyze(u.Image, u.FuncAddr)
+			facts += an.Stats.Proven + an.Stats.Hypotheses
+		}
+	}
+	b.ReportMetric(float64(facts), "facts")
 }
 
 // BenchmarkMemModelIns measures raw memory-model insertion (the ins

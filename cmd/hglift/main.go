@@ -31,6 +31,11 @@
 //	                   store at f; re-lifting an unchanged binary decodes
 //	                   the cached graphs instead of exploring
 //
+// -ptr enables the pointer-analysis pre-pass: a per-function fact table of
+// proven region relations and separation hypotheses is computed before
+// exploring, so undecided pointer pairs stop forking the memory model.
+// Separation hypotheses appear in the graph's assumption list.
+//
 // -o writes the single-function graph as .hg text; -obin writes the
 // compact binary container that hgprove/hglint auto-detect.
 //
@@ -122,6 +127,7 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "batch mode: journal completed lifts to this file")
 	resume := flag.Bool("resume", false, "restore completed lifts from -checkpoint instead of truncating")
 	storePath := flag.String("store", "", "cache lifted Hoare graphs in the store at this file")
+	ptrFacts := flag.Bool("ptr", false, "run the pointer-analysis pre-pass before each lift")
 	keepGoing := flag.Bool("keep-going", false, "exit 0 even when lifts panicked, timed out, errored or were quarantined")
 	traceOut := flag.String("trace", "", "write a JSONL event trace to this file")
 	showMetrics := flag.Bool("metrics", false, "print the aggregated metrics registry on exit")
@@ -165,7 +171,7 @@ func main() {
 		liftBatch(ctx, flag.Args(), batchConfig{
 			jobs: *jobs, timeout: *timeout, retry: retry,
 			ckptPath: *ckptPath, resume: *resume, keepGoing: *keepGoing,
-			store: store,
+			store: store, ptr: *ptrFacts,
 		}, obsv)
 		return
 	}
@@ -184,6 +190,9 @@ func main() {
 	opts := append([]lift.Option{lift.Jobs(1), lift.Timeout(*timeout), lift.Retry(retry)}, obsv.opts...)
 	if store != nil {
 		opts = append(opts, lift.WithStore(store))
+	}
+	if *ptrFacts {
+		opts = append(opts, lift.PointerFacts())
 	}
 
 	if *funcSpec == "" {
@@ -272,6 +281,7 @@ type batchConfig struct {
 	resume    bool
 	keepGoing bool
 	store     *lift.Store
+	ptr       bool
 }
 
 // liftBatch lifts every named binary from its entry point through the
@@ -313,6 +323,9 @@ func liftBatch(ctx context.Context, paths []string, cfg batchConfig, obsv *obser
 	}, obsv.opts...)
 	if cfg.store != nil {
 		opts = append(opts, lift.WithStore(cfg.store))
+	}
+	if cfg.ptr {
+		opts = append(opts, lift.PointerFacts())
 	}
 	sum := lift.Run(ctx, reqs, opts...)
 	for _, r := range sum.Results {

@@ -6,7 +6,9 @@
 //	-fig3      Figure 3 — per-function verification time vs instruction count
 //	-weird     Section 2 — the weird-edge binary's Hoare graph
 //	-failures  Section 5.3 — the three failure case studies
-//	-all       everything above
+//	-ptrbench  pointer pre-pass benchmark over the ptr_ pathological directory
+//	-all       everything above except -ptrbench (which is a benchmark, not
+//	           a paper artifact; run it explicitly, with and without -ptr)
 //
 // -scale shrinks the Table 1 unit counts (1.0 = the paper's 63 binaries
 // and 2151 library functions; the default keeps runtimes laptop-friendly).
@@ -21,6 +23,14 @@
 // subprocesses through internal/dist (0 = single-process, the default).
 // Verdicts are merged deterministically, so the printed table is
 // byte-identical at any worker count; only wall time changes.
+//
+// -ptr enables the pointer-analysis pre-pass on every lift: per-function
+// fact tables of proven region relations and separation hypotheses answer
+// pointer comparisons before the decision procedure, so undecided pairs
+// stop forking the memory model. Incompatible with -workers > 0 (the
+// worker wire protocol does not ship fact tables); Step 2 in-process
+// recomputes each function's facts so re-checks see the same verdicts the
+// lift did.
 //
 // Robustness flags make long sweeps survivable:
 //
@@ -71,6 +81,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/hoare"
 	"repro/internal/obs"
+	"repro/internal/ptr"
 	"repro/internal/sem"
 	"repro/internal/solver"
 	"repro/internal/triple"
@@ -88,6 +99,7 @@ type runner struct {
 	ckpt    *lift.Checkpoint
 	store   *lift.Store
 	flip    string
+	ptr     bool
 	faults  *faultinject.Injector
 	tr      *obs.Tracer
 
@@ -107,6 +119,9 @@ func (rn *runner) opts(scope string) []lift.Option {
 	}
 	if rn.store != nil {
 		opts = append(opts, lift.WithStore(rn.store))
+	}
+	if rn.ptr {
+		opts = append(opts, lift.PointerFacts())
 	}
 	return opts
 }
@@ -138,6 +153,7 @@ func main() {
 	fig3 := flag.Bool("fig3", false, "regenerate Figure 3")
 	weird := flag.Bool("weird", false, "regenerate the Section 2 example")
 	failures := flag.Bool("failures", false, "regenerate the Section 5.3 failures")
+	ptrBench := flag.Bool("ptrbench", false, "run the pointer pre-pass benchmark (pathological ptr_ directory)")
 	all := flag.Bool("all", false, "run everything")
 	scale := flag.Float64("scale", 0.15, "Table 1 corpus scale (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "corpus generation seed")
@@ -149,6 +165,7 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "journal completed lifts to this file")
 	resume := flag.Bool("resume", false, "restore completed lifts from -checkpoint instead of truncating")
 	storePath := flag.String("store", "", "cache lifted Hoare graphs in the store at this file")
+	ptrFacts := flag.Bool("ptr", false, "run the pointer-analysis pre-pass before each lift")
 	flipUnit := flag.String("flip", "", "flip one immediate byte in the named corpus unit's function before lifting (store-invalidation smoke)")
 	keepGoing := flag.Bool("keep-going", false, "exit 0 even when lifts panicked, timed out, errored or were quarantined")
 	faultSeed := flag.Int64("fault-seed", 0, "fault injector decision seed (CI smoke)")
@@ -161,15 +178,19 @@ func main() {
 	if *all {
 		*table1, *table2, *fig3, *weird, *failures = true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*fig3 && !*weird && !*failures {
+	if !*table1 && !*table2 && !*fig3 && !*weird && !*failures && !*ptrBench {
 		fmt.Fprintln(os.Stderr,
-			"xenbench: nothing selected: pass at least one of -table1, -table2, -fig3, -weird, -failures, or -all\n"+
+			"xenbench: nothing selected: pass at least one of -table1, -table2, -fig3, -weird, -failures, -ptrbench, or -all\n"+
 				"(-scale, -seed and -jobs only tune a selected run)")
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *resume && *ckptPath == "" {
 		fmt.Fprintln(os.Stderr, "xenbench: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *ptrFacts && *workers > 0 {
+		fmt.Fprintln(os.Stderr, "xenbench: -ptr is incompatible with -workers > 0 (the Step-2 worker protocol does not ship fact tables)")
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -235,6 +256,7 @@ func main() {
 		rn.store = st
 	}
 	rn.flip = *flipUnit
+	rn.ptr = *ptrFacts
 
 	if *table1 {
 		runTable1(ctx, *scale, *seed, rn)
@@ -250,6 +272,9 @@ func main() {
 	}
 	if *failures {
 		runFailures(ctx, rn.tr)
+	}
+	if *ptrBench {
+		runPtrBench(ctx, rn)
 	}
 
 	// One exit point: the trace and metrics flush on every path —
@@ -409,9 +434,14 @@ func runTable2(ctx context.Context, rn *runner) {
 	}
 	// Step 2 re-checks graphs in memory, so Table 2 lifts without a
 	// checkpoint (a restored result carries no graph to check).
-	sum := lift.Run(ctx, reqs,
+	t2opts := []lift.Option{
 		lift.Jobs(rn.jobs), lift.Timeout(rn.timeout),
-		lift.Tracer(rn.tr), lift.Retry(rn.retry), lift.Faults(rn.faults))
+		lift.Tracer(rn.tr), lift.Retry(rn.retry), lift.Faults(rn.faults),
+	}
+	if rn.ptr {
+		t2opts = append(t2opts, lift.PointerFacts())
+	}
+	sum := lift.Run(ctx, reqs, t2opts...)
 	rn.absorb(sum)
 
 	// With -workers the Step-2 checks of every lifted function go through
@@ -464,7 +494,13 @@ func runTable2(ctx context.Context, rn *runner) {
 				rep = distReports[next]
 				next++
 			} else {
-				rep = triple.Check(ctx, units[i].Image, fr.Graph, sem.DefaultConfig(),
+				cfg := sem.DefaultConfig()
+				if rn.ptr {
+					// Re-check under the same facts the lift explored
+					// with, so Step 2 reproduces the lift's verdicts.
+					cfg.Facts = ptr.Analyze(units[i].Image, fr.Addr).Facts
+				}
+				rep = triple.Check(ctx, units[i].Image, fr.Graph, cfg,
 					triple.Workers(rn.jobs), triple.WithTracer(rn.tr))
 			}
 			proven += rep.Proven
@@ -589,6 +625,35 @@ func runFailures(ctx context.Context, tr *obs.Tracer) {
 			}
 		}
 	}
+	fmt.Println()
+}
+
+// runPtrBench lifts the pathological ptr_ directory, whose units scale up
+// the Section 2 aliasing idiom until fork/destroy dominates. Run it twice —
+// without and with -ptr — and compare: the counters line quantifies the
+// pre-pass's fork+destroy reduction, and the verdict lines (deliberately
+// free of timings) let CI diff the two runs byte-for-byte on the functions
+// both modes lift. Without -ptr the forkbomb unit times out by design, so
+// the factless run needs -keep-going to exit 0.
+func runPtrBench(ctx context.Context, rn *runner) {
+	mode := "off"
+	if rn.ptr {
+		mode = "on"
+	}
+	fmt.Printf("Pointer pre-pass benchmark (ptr facts %s, %d jobs)\n", mode, rn.jobs)
+	dir, err := corpus.PtrPathology()
+	if err != nil {
+		fatal(err)
+	}
+	sum := lift.Run(ctx, lift.UnitRequests(dir.Units), rn.opts("ptrbench")...)
+	rn.absorb(sum)
+	for _, r := range sum.Results {
+		fmt.Printf("verdict %s %s\n", r.Name, r.Status)
+	}
+	fmt.Printf("counters forks=%d destroys=%d fallbacks=%d facthits=%d\n",
+		sum.Stats.Sem.Forks, sum.Stats.Sem.Destroys,
+		sum.Stats.Sem.Fallbacks, sum.Stats.Sem.FactHits)
+	fmt.Printf("wall %s\n", sum.Wall.Round(time.Millisecond))
 	fmt.Println()
 }
 

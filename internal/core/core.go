@@ -17,6 +17,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/hoare"
 	"repro/internal/image"
+	"repro/internal/ptr"
 	"repro/internal/sem"
 )
 
@@ -72,6 +73,16 @@ type Config struct {
 	// states even when they hold different code-pointer immediates
 	// (ablation: loses indirection resolution).
 	JoinCodePointers bool
+	// PointerFacts enables the pointer-analysis pre-pass (internal/ptr):
+	// before exploring a function the lifter runs a whole-function abstract
+	// interpretation and feeds the resulting per-function fact table to the
+	// semantics, so region pairs the pre-pass already related are answered
+	// without consulting the decision procedure and without forking the
+	// memory model. Separation hypotheses the pre-pass emits are recorded
+	// in the graph's assumption list like any other separation assumption.
+	// Opt-in: hypotheses deliberately assume apart distinct argument
+	// pointers (rdi vs rsi), which hides intentional aliasing.
+	PointerFacts bool
 	// Terminating lists external functions that never return.
 	Terminating []string
 	// ConcurrencyPrefixes lists external-name prefixes that put a
@@ -123,6 +134,7 @@ type Lifter struct {
 
 	summaries  map[uint64]*FuncResult
 	inProgress map[uint64]bool
+	ptrCache   map[uint64]*ptr.Analysis
 }
 
 // New returns a lifter over the image.
@@ -133,7 +145,21 @@ func New(img *image.Image, cfg Config) *Lifter {
 		mach:       sem.NewMachine(img, cfg.Sem),
 		summaries:  map[uint64]*FuncResult{},
 		inProgress: map[uint64]bool{},
+		ptrCache:   map[uint64]*ptr.Analysis{},
 	}
+}
+
+// pointerAnalysis returns the pre-pass result for the function at addr,
+// computing it on first use (one analysis per function, like the summary
+// cache — callees re-entered through later call sites reuse their table).
+func (l *Lifter) pointerAnalysis(addr uint64, name string) *ptr.Analysis {
+	if an, ok := l.ptrCache[addr]; ok {
+		return an
+	}
+	an := ptr.Analyze(l.Img, addr)
+	l.ptrCache[addr] = an
+	l.Cfg.Sem.Tracer.PtrAnalyze(name, addr, an.Stats.Proven, an.Stats.Hypotheses, an.Stats.Wall)
+	return an
 }
 
 // isTerminating reports whether the named external never returns.

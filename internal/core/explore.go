@@ -53,6 +53,16 @@ func (l *Lifter) explore(ctx context.Context, addr uint64, name string) *FuncRes
 		e.before[a] = true
 	}
 
+	// Pointer pre-pass: install this function's fact table for the duration
+	// of the exploration. Facts are keyed on the function's own initial-state
+	// symbols (rsp0, rdi0, …), so a callee explored through handleCall swaps
+	// in its own table and the defer restores the caller's on return.
+	if l.Cfg.PointerFacts {
+		prev := l.mach.Cfg.Facts
+		l.mach.Cfg.Facts = l.pointerAnalysis(addr, name).Facts
+		defer func() { l.mach.Cfg.Facts = prev }()
+	}
+
 	init := sem.InitialState(retSym)
 	g.EntryID = l.vertexID(addr, init)
 	g.Vertices[hoare.ExitID] = &hoare.Vertex{ID: hoare.ExitID}

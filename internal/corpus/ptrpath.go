@@ -1,0 +1,150 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/elf64"
+	"repro/internal/image"
+	"repro/internal/x86"
+)
+
+// PtrPathology builds the ptr_ directory: hand-assembled functions scaling
+// up the Section 2 aliasing idiom until the memory model's fork/destroy
+// machinery becomes the dominant cost. Every store goes through a distinct
+// argument register, so no pair of regions shares a symbolic base: the
+// solver cannot decide them, AssumeBaseSeparation does not apply (both are
+// non-stack), and each insertion multiplies the model set — exactly the
+// pairs the pointer pre-pass turns into separation hypotheses.
+//
+// The directory doubles as the -ptr CI gate's corpus. Expect records the
+// outcome under the default configuration (no pointer facts); under
+// PointerFacts the ptr_forkbomb unit's budget suffices and it lifts.
+func PtrPathology() (*Directory, error) {
+	dir := &Directory{Name: "ptr", Kind: KindLibFunc}
+	add := func(name string, budget int, expect core.Status, emit func(a *x86.Asm)) error {
+		u, err := asmUnit(name, budget, expect, emit)
+		if err != nil {
+			return err
+		}
+		dir.Units = append(dir.Units, u)
+		return nil
+	}
+
+	// argBases are the pointer arguments of the System V convention plus
+	// caller-saved scratch registers: ten distinct provenance bases, none of
+	// them the stack pointer.
+	argBases := []x86.Reg{
+		x86.RDI, x86.RSI, x86.RDX, x86.RCX, x86.R8, x86.R9,
+		x86.R10, x86.R11, x86.RAX, x86.RBX,
+	}
+	store := func(a *x86.Asm, base x86.Reg, disp int64, size int, val int64) {
+		a.I(x86.MOV, x86.MemOp(base, x86.RegNone, 1, disp, size), x86.ImmOp(val, 4))
+	}
+
+	// ptr_forkbomb: six same-size stores through six distinct bases, then a
+	// read-back tail. Without facts every insertion forks per undecided
+	// tree and the forked states re-join and re-explore the tail; the step
+	// budget is tuned so that blow-up exhausts it (StatusTimeout) while the
+	// fact-assisted run — one model per insertion — finishes well inside
+	// it. This is the "previously rejected, now liftable" unit.
+	err := add("ptr_forkbomb", forkbombBudget, core.StatusTimeout, func(a *x86.Asm) {
+		for i, r := range argBases[:6] {
+			store(a, r, 0, 8, int64(i+1))
+		}
+		// Tail: reads through the same bases, each of which forks again in
+		// the undecided models, then a little arithmetic.
+		for _, r := range argBases[:6] {
+			a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.MemOp(r, x86.RegNone, 1, 0, 8))
+		}
+		for i := 0; i < 8; i++ {
+			a.I(x86.ADD, x86.RegOp(x86.RAX, 8), x86.ImmOp(1, 1))
+		}
+		a.I(x86.RET)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// ptr_destroy_mixed: stores through all ten bases. In the model where
+	// every region is separate the forest holds 9 trees by the tenth
+	// insertion, whose result set exceeds MaxModels (8) — the silent
+	// fallback destroys the model. With facts each insertion yields one
+	// model and the fallback never triggers. Lifts either way (the return
+	// address clause is stack-based and assumed separate from every store).
+	err = add("ptr_destroy_mixed", 0, core.StatusLifted, func(a *x86.Asm) {
+		for i, r := range argBases {
+			store(a, r, 0, 8, int64(i+1))
+		}
+		a.I(x86.RET)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// ptr_alias2: the bare Section 2 idiom — store through rdi, store
+	// through rsi, read back through rdi. Two undecided pairs, a handful of
+	// forks; lifts in both modes. Under facts the rdi/rsi hypothesis is
+	// recorded as an explicit separation assumption.
+	err = add("ptr_alias2", 0, core.StatusLifted, func(a *x86.Asm) {
+		store(a, x86.RDI, 0, 8, 1)
+		store(a, x86.RSI, 0, 8, 2)
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.MemOp(x86.RDI, x86.RegNone, 1, 0, 8))
+		a.I(x86.RET)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// ptr_stack_global: only stack-relative and RIP-relative (global
+	// constant) accesses. Every pair is decided by the solver or by
+	// AssumeBaseSeparation already, so facts change nothing: the control
+	// unit whose verdict and statistics must be identical in both modes.
+	err = add("ptr_stack_global", 0, core.StatusLifted, func(a *x86.Asm) {
+		a.I(x86.SUB, x86.RegOp(x86.RSP, 8), x86.ImmOp(0x20, 1))
+		store(a, x86.RSP, 0, 8, 1)
+		store(a, x86.RSP, 8, 8, 2)
+		store(a, x86.RSP, 16, 8, 3)
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 8), x86.MemOp(x86.RSP, x86.RegNone, 1, 8, 8))
+		a.I(x86.ADD, x86.RegOp(x86.RSP, 8), x86.ImmOp(0x20, 1))
+		a.I(x86.RET)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dir, nil
+}
+
+// forkbombBudget is ptr_forkbomb's MaxStates override: above the
+// fact-assisted exploration's step count, below the forking one's. The
+// corpus test pins both sides of the margin.
+const forkbombBudget = 120
+
+// asmUnit assembles one hand-written function into a lift unit.
+func asmUnit(name string, budget int, expect core.Status, emit func(a *x86.Asm)) (*Unit, error) {
+	a := x86.NewAsm(scenText)
+	emit(a)
+	code, err := a.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("corpus %s: %w", name, err)
+	}
+	eb := elf64.NewExec(scenText)
+	eb.AddSection(".text", elf64.SHFExecinstr, scenText, code)
+	eb.AddFunc(name, scenText, uint64(len(code)))
+	raw, err := eb.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	im, err := image.Load(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{
+		Name:     name,
+		Kind:     KindLibFunc,
+		Image:    im,
+		FuncAddr: scenText,
+		Expect:   expect,
+		Budget:   budget,
+	}, nil
+}

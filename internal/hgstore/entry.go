@@ -11,7 +11,7 @@ package hgstore
 //
 //	payload = status(byte)
 //	          graph-stats          10 uvarints, hoare.Stats field order
-//	          sem-counters         4 uvarints
+//	          sem-counters         6 uvarints
 //	          wall-ns duration-ns
 //	          dep-count (addr len)* dep-hash(u64 raw)
 //	          EXPR-TABLE
@@ -164,6 +164,8 @@ func (e *Entry) appendPayload(buf []byte) []byte {
 	buf = wire.AppendUvarint(buf, e.Sem.SolverHits)
 	buf = wire.AppendUvarint(buf, e.Sem.Forks)
 	buf = wire.AppendUvarint(buf, e.Sem.Destroys)
+	buf = wire.AppendUvarint(buf, e.Sem.FactHits)
+	buf = wire.AppendUvarint(buf, e.Sem.Fallbacks)
 	buf = wire.AppendUvarint(buf, uint64(e.Wall))
 	buf = wire.AppendUvarint(buf, uint64(e.Duration))
 
@@ -230,6 +232,8 @@ func decodePayload(d *wire.Decoder, img *image.Image) (*Entry, error) {
 	e.Sem.SolverHits = d.Uvarint("solver hits")
 	e.Sem.Forks = d.Uvarint("forks")
 	e.Sem.Destroys = d.Uvarint("destroys")
+	e.Sem.FactHits = d.Uvarint("fact hits")
+	e.Sem.Fallbacks = d.Uvarint("fallbacks")
 	e.Wall = time.Duration(d.Uvarint("wall"))
 	e.Duration = time.Duration(d.Uvarint("duration"))
 

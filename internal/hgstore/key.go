@@ -31,7 +31,7 @@ import (
 // the wire formats could alter a lift's outcome or its encoding: entries
 // stamped with another version are dropped on open (a miss, not an
 // error), so a stale store heals itself by re-lifting.
-const LifterVersion = "hg-lifter/1"
+const LifterVersion = "hg-lifter/2"
 
 // Key addresses one cached lift outcome. Two lifts with equal keys read
 // the same primary code bytes under the same configuration and lifter
@@ -145,6 +145,7 @@ func ConfigFingerprint(cfg *core.Config) uint64 {
 	for _, s := range c.ConcurrencyPrefixes {
 		buf = wire.AppendString(buf, s)
 	}
+	buf = appendBool(buf, c.PointerFacts)
 	return hashBytes(hashSeed, buf)
 }
 

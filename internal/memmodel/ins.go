@@ -124,14 +124,26 @@ func RelationsOf(f Forest, r solver.Region) map[RegionID]RelKind {
 // present the model is unchanged and its relations are read off the
 // structure.
 func Ins(r solver.Region, f Forest, o Oracle, cfg Config) []InsResult {
+	results, _ := InsCounted(r, f, o, cfg)
+	return results
+}
+
+// InsCounted is Ins with the fallback made observable: the second result
+// reports whether the insertion abandoned its forked models — either
+// because nothing clean was derivable with forking disabled, or because the
+// fan-out exceeded cfg.MaxModels — and destroyed instead. The fallback used
+// to be silent, which made "why did this read degrade to unknown?"
+// unanswerable from the outside; the semantics layer now counts it
+// (sem.Counters.Fallbacks, obs memmodel.fallback).
+func InsCounted(r solver.Region, f Forest, o Oracle, cfg Config) ([]InsResult, bool) {
 	if f.HasRegion(r) {
-		return []InsResult{{Forest: f, Rel: RelationsOf(f, r)}}
+		return []InsResult{{Forest: f, Rel: RelationsOf(f, r)}}, false
 	}
 	results := insTree(Leaf(r), f, o, cfg)
 	if len(results) == 0 || len(results) > cfg.MaxModels {
-		return []InsResult{destroy(Leaf(r), f, o)}
+		return []InsResult{destroy(Leaf(r), f, o)}, true
 	}
-	return results
+	return results, false
 }
 
 // treeRel aggregates solver verdicts between the top nodes of t0 and t1.

@@ -403,3 +403,53 @@ func TestQuickJoinSoundnessLemma314(t *testing.T) {
 		}
 	}
 }
+
+// TestInsCountedFallback pins the observable MaxModels fallback: inserting a
+// same-size region whose relation to every existing tree is undecided forks
+// into (trees+1) models, so nine undecided trees exceed MaxModels=8 and the
+// insertion must destroy — now reported instead of silent.
+func TestInsCountedFallback(t *testing.T) {
+	o := topOracle()
+	cfg := DefaultConfig()
+	var f Forest
+	names := []expr.Var{"a0", "b0", "c0", "d0", "e0", "f0", "g0", "h0"}
+	for _, v := range names {
+		f = append(f, Leaf(reg(expr.V(v), 8)))
+	}
+	res, fellBack := InsCounted(reg(expr.V("p0"), 8), f, o, cfg)
+	if !fellBack {
+		t.Fatalf("inserting into %d undecided trees must exceed MaxModels=%d", len(f), cfg.MaxModels)
+	}
+	if len(res) != 1 {
+		t.Fatalf("fallback must produce exactly the destroy model, got %d", len(res))
+	}
+	for _, v := range names {
+		if res[0].Rel[IDOf(reg(expr.V(v), 8))] != RelDestroyed {
+			t.Fatalf("fallback must destroy %s: %v", v, res[0].Rel)
+		}
+	}
+
+	// Below the cap: no fallback, and Ins agrees with InsCounted.
+	small := Forest{Leaf(reg(expr.V("a0"), 8))}
+	res2, fellBack2 := InsCounted(reg(expr.V("p0"), 8), small, o, cfg)
+	if fellBack2 {
+		t.Fatal("two-model fork is within the cap")
+	}
+	if got := Ins(reg(expr.V("p0"), 8), small, o, cfg); len(got) != len(res2) {
+		t.Fatalf("Ins must match InsCounted: %d vs %d", len(got), len(res2))
+	}
+
+	// ForkUnknown=false hits the len==0 branch of the same fallback.
+	nofork := cfg
+	nofork.ForkUnknown = false
+	_, fellBack3 := InsCounted(reg(expr.V("p0"), 8), small, o, nofork)
+	if !fellBack3 {
+		t.Fatal("no-fork undecided insertion is a fallback destroy")
+	}
+
+	// Re-inserting a present region is clean.
+	_, fellBack4 := InsCounted(reg(expr.V("a0"), 8), small, o, cfg)
+	if fellBack4 {
+		t.Fatal("present-region insert must not fall back")
+	}
+}

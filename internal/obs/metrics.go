@@ -130,9 +130,18 @@ func (m *Metrics) Emit(e Event) {
 	case KJoin:
 		m.Counter("explore.joins").Add(1)
 	case KFork:
-		m.Counter("mm.forks").Add(e.N)
+		m.Counter("memmodel.fork").Add(e.N)
 	case KDestroy:
-		m.Counter("mm.destroys").Add(1)
+		m.Counter("memmodel.destroy").Add(1)
+	case KFallback:
+		m.Counter("memmodel.fallback").Add(1)
+	case KPtrAnalyze:
+		m.Counter("ptr.analyses").Add(1)
+		m.Counter("ptr.facts").Add(e.N)
+		m.Counter("ptr.hypotheses").Add(e.Hits)
+		m.Histogram("ptr.wall").Observe(e.Wall)
+	case KFactHit:
+		m.Counter("ptr.hits").Add(1)
 	case KSolver:
 		m.Counter("solver.queries").Add(1)
 		if e.Hit {

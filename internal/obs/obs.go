@@ -55,6 +55,9 @@ const (
 	KWorkerRestart             // dist: a worker crashed or timed out and its shard was re-scheduled (Status, N = attempt)
 	KStore                     // hgstore: graph-store activity (Status = hit | miss | write | write-error | flush; N = payload bytes or flushed entries, Wall = decode/flush latency, Detail = miss reason / error)
 	KServe                     // serve: daemon request lifecycle (Status = admit | reject | request outcome; Func = request id, Detail = tenant, N = queue depth, Wall = request latency)
+	KFallback                  // sem: an insertion abandoned its forked models past MaxModels and destroyed instead
+	KPtrAnalyze                // ptr: the pointer pre-pass analyzed one function (N = proven facts, Hits = hypotheses, Wall = analysis time)
+	KFactHit                   // sem: a region comparison was answered from the pointer fact table
 )
 
 // kindNames renders the kinds in the JSONL trace.
@@ -81,6 +84,9 @@ var kindNames = [...]string{
 	KWorkerRestart: "worker-restart",
 	KStore:         "store",
 	KServe:         "serve",
+	KFallback:      "fallback",
+	KPtrAnalyze:    "ptr-analyze",
+	KFactHit:       "ptr-hit",
 }
 
 // String renders the kind.
@@ -252,6 +258,36 @@ func (t *Tracer) Destroy(addr uint64) {
 		return
 	}
 	t.Emit(Event{Kind: KDestroy, Addr: addr})
+}
+
+// Fallback marks an insertion whose forked models were abandoned (fan-out
+// past MaxModels, or nothing clean derivable without forking) in favour of
+// the destroy model.
+func (t *Tracer) Fallback(addr uint64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KFallback, Addr: addr})
+}
+
+// PtrAnalyze marks the pointer pre-pass finishing one function: proven is
+// the number of predicate-independent facts, hypotheses the number of
+// assumed separations, wall the analysis time.
+func (t *Tracer) PtrAnalyze(fn string, addr uint64, proven, hypotheses int, wall time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KPtrAnalyze, Func: fn, Addr: addr,
+		N: uint64(proven), Hits: uint64(hypotheses), Wall: wall})
+}
+
+// FactHit marks a region comparison answered from the pointer fact table
+// before the decision procedure ran.
+func (t *Tracer) FactHit(addr uint64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KFactHit, Addr: addr})
 }
 
 // Solver marks one solver comparison; hit reports a memo-cache answer.

@@ -33,6 +33,9 @@ func TestNilTracer(t *testing.T) {
 	tr.Obligation(1, "ob")
 	tr.Theorem("f", "v", 1, "proven")
 	tr.Lint("f", "v", 1, "error", "hg-entry", "missing")
+	tr.Fallback(1)
+	tr.PtrAnalyze("f", 1, 2, 3, time.Second)
+	tr.FactHit(1)
 }
 
 // TestNewTracerDropsNilSinks checks that optional sinks can be passed
@@ -145,12 +148,17 @@ func TestMetricsAggregation(t *testing.T) {
 	tr.Theorem("f", "v", 1, "proven")
 	tr.Lint("f", "v1", 1, "error", "hg-dangling-edge", "edge to nowhere")
 	tr.Lint("f", "v2", 2, "warn", "hg-unreachable", "unreachable")
+	tr.Fallback(3)
+	tr.PtrAnalyze("f", 1, 5, 2, time.Millisecond)
+	tr.FactHit(4)
+	tr.FactHit(4)
 
 	want := map[string]uint64{
 		"explore.steps":      2,
 		"explore.joins":      1,
-		"mm.forks":           2,
-		"mm.destroys":        1,
+		"memmodel.fork":      2,
+		"memmodel.destroy":   1,
+		"memmodel.fallback":  1,
 		"solver.queries":     2,
 		"solver.hits":        1,
 		"obligations":        1,
@@ -160,6 +168,10 @@ func TestMetricsAggregation(t *testing.T) {
 		"theorem.proven":     1,
 		"lint.error":         1,
 		"lint.warn":          1,
+		"ptr.analyses":       1,
+		"ptr.facts":          5,
+		"ptr.hypotheses":     2,
+		"ptr.hits":           2,
 	}
 	got := m.CounterSnapshot()
 	for name, v := range want {

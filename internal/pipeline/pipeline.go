@@ -100,6 +100,13 @@ type Options struct {
 	// Production runs leave it nil; tests and the CI smoke job use it to
 	// prove the retry and resume machinery.
 	Faults *faultinject.Injector
+	// PointerFacts enables the pointer-analysis pre-pass
+	// (core.Config.PointerFacts) on every task of the run, overriding the
+	// per-task configuration. The flag participates in the store's
+	// configuration fingerprint — the same task with and without facts
+	// occupies two distinct store entries — because the pre-pass changes
+	// which functions lift and what assumptions their graphs carry.
+	PointerFacts bool
 	// Store, when non-nil, is the content-addressed Hoare-graph cache: a
 	// task whose (code hash, config fingerprint, lifter version) key has a
 	// valid entry skips Step-1 lifting entirely — the result (graphs,
@@ -411,7 +418,12 @@ func runOne(ctx context.Context, t Task, idx int, opts Options) Result {
 		if t.Binary {
 			addr = 0
 		}
-		storeKey = hgstore.TaskKey(t.Img, addr, t.Binary, t.Cfg)
+		// Key on the effective configuration — the one lift() will run
+		// under, with run-level options folded in — never on the raw task
+		// override, or a -ptr run could answer from (and poison) the
+		// factless entries.
+		cfg := effectiveConfig(t, opts)
+		storeKey = hgstore.TaskKey(t.Img, addr, t.Binary, &cfg)
 		if e, n, wall, reason := opts.Store.Lookup(storeKey, t.Img); e != nil {
 			tr.StoreHit(t.Name, uint64(n), wall)
 			return finish(resultFromEntry(t, idx, e, opts, tr))
@@ -521,12 +533,24 @@ func runAttempt(ctx context.Context, t Task, idx int, opts Options, tr *obs.Trac
 	}
 }
 
-// lift runs the task's lifter and collects its statistics.
-func lift(ctx context.Context, t Task, idx int, opts Options, tr *obs.Tracer) Result {
+// effectiveConfig materialises the lifter configuration a task runs under:
+// the task's override (or the default) with the run-level semantic options
+// folded in. Both the store key and the lift use this one function, so a
+// store entry is always keyed on the configuration that produced it.
+func effectiveConfig(t Task, opts Options) core.Config {
 	cfg := core.DefaultConfig()
 	if t.Cfg != nil {
 		cfg = *t.Cfg
 	}
+	if opts.PointerFacts {
+		cfg.PointerFacts = true
+	}
+	return cfg
+}
+
+// lift runs the task's lifter and collects its statistics.
+func lift(ctx context.Context, t Task, idx int, opts Options, tr *obs.Tracer) Result {
+	cfg := effectiveConfig(t, opts)
 	cfg.Sem.SolverCache = opts.Cache
 	cfg.Sem.Tracer = tr
 	l := core.New(t.Img, cfg)

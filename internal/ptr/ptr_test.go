@@ -1,0 +1,196 @@
+package ptr
+
+import (
+	"testing"
+
+	"repro/internal/elf64"
+	"repro/internal/expr"
+	"repro/internal/image"
+	"repro/internal/solver"
+	"repro/internal/x86"
+)
+
+const testText = 0x401000
+
+// assemble builds a one-function image from the emitted code.
+func assemble(t *testing.T, emit func(a *x86.Asm)) *image.Image {
+	t.Helper()
+	a := x86.NewAsm(testText)
+	emit(a)
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := elf64.NewExec(testText)
+	eb.AddSection(".text", elf64.SHFExecinstr, testText, code)
+	raw, err := eb.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := image.Load(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func reg(base string, off int64, size uint64) solver.Region {
+	addr := expr.Add(expr.V(expr.Var(base)), expr.Word(uint64(off)))
+	return solver.Region{Addr: addr, Size: size}
+}
+
+func TestAnalyzeStraightLine(t *testing.T) {
+	img := assemble(t, func(a *x86.Asm) {
+		a.I(x86.SUB, x86.RegOp(x86.RSP, 8), x86.ImmOp(0x18, 1))
+		a.I(x86.MOV, x86.MemOp(x86.RSP, x86.RegNone, 1, 8, 8), x86.ImmOp(1, 4))
+		a.I(x86.MOV, x86.MemOp(x86.RDI, x86.RegNone, 1, 0, 8), x86.ImmOp(2, 4))
+		a.I(x86.MOV, x86.MemOp(x86.RSI, x86.RegNone, 1, 8, 8), x86.ImmOp(3, 4))
+		a.I(x86.ADD, x86.RegOp(x86.RSP, 8), x86.ImmOp(0x18, 1))
+		a.I(x86.RET)
+	})
+	an := Analyze(img, testText)
+	// Regions: [rsp0-0x10,8], [rdi0,8], [rsi0+8,8], [rsp0,8] (the ret read).
+	if an.Stats.Regions != 4 {
+		t.Fatalf("regions = %d, want 4 (stats: %+v)", an.Stats.Regions, an.Stats)
+	}
+	// Same-base stack pair is proven; every cross-base pair is a hypothesis.
+	if an.Stats.Proven != 1 || an.Stats.Hypotheses != 5 {
+		t.Fatalf("proven=%d hypotheses=%d, want 1/5", an.Stats.Proven, an.Stats.Hypotheses)
+	}
+	f, ok := an.Facts.Lookup(reg("rsp0", -0x10, 8), reg("rsp0", 0, 8))
+	if !ok || f.Assumed || f.Res.Separate != solver.Yes {
+		t.Fatalf("stack pair must be proven separate: %+v ok=%v", f, ok)
+	}
+	f, ok = an.Facts.Lookup(reg("rdi0", 0, 8), reg("rsi0", 8, 8))
+	if !ok || !f.Assumed || f.Res.Separate != solver.Yes {
+		t.Fatalf("rdi/rsi pair must be a separation hypothesis: %+v ok=%v", f, ok)
+	}
+	if an.Stats.Truncated {
+		t.Fatal("tiny function must not truncate")
+	}
+}
+
+func TestAnalyzeProvenEnclosure(t *testing.T) {
+	img := assemble(t, func(a *x86.Asm) {
+		a.I(x86.MOV, x86.MemOp(x86.RDI, x86.RegNone, 1, 0, 8), x86.ImmOp(1, 4))
+		a.I(x86.MOV, x86.RegOp(x86.RAX, 4), x86.MemOp(x86.RDI, x86.RegNone, 1, 4, 4))
+		a.I(x86.RET)
+	})
+	an := Analyze(img, testText)
+	f, ok := an.Facts.Lookup(reg("rdi0", 4, 4), reg("rdi0", 0, 8))
+	if !ok || f.Assumed || f.Res.Enclosed != solver.Yes {
+		t.Fatalf("[rdi0+4,4] must be proven enclosed in [rdi0,8]: %+v ok=%v", f, ok)
+	}
+	if rev, ok := an.Facts.Lookup(reg("rdi0", 0, 8), reg("rdi0", 4, 4)); !ok || rev.Res.Encloses != solver.Yes {
+		t.Fatalf("reversed orientation: %+v ok=%v", rev, ok)
+	}
+}
+
+func TestAnalyzeJoinKillsDisagreeingRegisters(t *testing.T) {
+	img := assemble(t, func(a *x86.Asm) {
+		a.I(x86.CMP, x86.RegOp(x86.RDX, 8), x86.ImmOp(0, 1))
+		a.Jcc(x86.CondE, "other")
+		a.I(x86.MOV, x86.RegOp(x86.RBX, 8), x86.RegOp(x86.RDI, 8))
+		a.Jmp("store")
+		a.Label("other")
+		a.I(x86.MOV, x86.RegOp(x86.RBX, 8), x86.RegOp(x86.RSI, 8))
+		a.Label("store")
+		a.I(x86.MOV, x86.MemOp(x86.RBX, x86.RegNone, 1, 0, 8), x86.ImmOp(7, 4))
+		a.I(x86.RET)
+	})
+	an := Analyze(img, testText)
+	// rbx disagrees at the join, so the store through it records nothing.
+	// Recorded regions are only the two single-path [rbx,8] views — one per
+	// predecessor visit order — no: the store is only reached through the
+	// join, so the walker sees rbx as rdi0 on the first visit and unknown
+	// after the join weakens it. Only ret's [rsp0,8] read is guaranteed.
+	for _, r := range []solver.Region{reg("rdi0", 0, 8), reg("rsi0", 0, 8)} {
+		if f, ok := an.Facts.Lookup(r, reg("rsp0", 0, 8)); ok && !f.Assumed && f.Res.Separate == solver.Yes {
+			t.Fatalf("no proven separation may exist for unjoined base %s: %+v", r.Addr, f)
+		}
+	}
+	if an.Stats.Visits == 0 {
+		t.Fatal("walker did not run")
+	}
+}
+
+func TestAnalyzeCallClobbersCallerSaved(t *testing.T) {
+	img := assemble(t, func(a *x86.Asm) {
+		a.I(x86.MOV, x86.RegOp(x86.RBX, 8), x86.RegOp(x86.RDI, 8))
+		a.Call("leaf")
+		a.I(x86.MOV, x86.MemOp(x86.RBX, x86.RegNone, 1, 0, 8), x86.ImmOp(1, 4)) // rbx = rdi0: recorded
+		a.I(x86.MOV, x86.MemOp(x86.RDI, x86.RegNone, 1, 0, 4), x86.ImmOp(2, 4)) // rdi clobbered: not recorded
+		a.I(x86.RET)
+		a.Label("leaf")
+		a.I(x86.RET)
+	})
+	an := Analyze(img, testText)
+	if _, ok := an.Facts.Lookup(reg("rdi0", 0, 8), reg("rsp0", -8, 8)); !ok {
+		t.Fatalf("callee-saved rbx (= rdi0) store vs call return slot must yield a fact; stats %+v", an.Stats)
+	}
+	// The post-call [rdi] store must not appear as a 4-byte rdi0 region
+	// paired with anything: rdi is unknown after the call.
+	if f, ok := an.Facts.Lookup(reg("rdi0", 0, 4), reg("rsp0", 0, 8)); ok {
+		t.Fatalf("clobbered rdi must record no region: %+v", f)
+	}
+}
+
+func TestAnalyzeLoadInvalidates(t *testing.T) {
+	img := assemble(t, func(a *x86.Asm) {
+		a.I(x86.MOV, x86.RegOp(x86.RDI, 8), x86.MemOp(x86.RDI, x86.RegNone, 1, 0, 8))
+		a.I(x86.MOV, x86.MemOp(x86.RDI, x86.RegNone, 1, 0, 8), x86.ImmOp(1, 4))
+		a.I(x86.RET)
+	})
+	an := Analyze(img, testText)
+	// The load itself reads [rdi0,8]; the store through the loaded pointer
+	// is untracked. So regions = {[rdi0,8], [rsp0,8]} → 1 hypothesis.
+	if an.Stats.Regions != 2 || an.Stats.Hypotheses != 1 {
+		t.Fatalf("stats: %+v, want 2 regions / 1 hypothesis", an.Stats)
+	}
+}
+
+func TestAnalyzeLoopTerminates(t *testing.T) {
+	img := assemble(t, func(a *x86.Asm) {
+		a.Label("loop")
+		a.I(x86.MOV, x86.MemOp(x86.RDI, x86.RegNone, 1, 0, 8), x86.ImmOp(1, 4))
+		a.I(x86.ADD, x86.RegOp(x86.RDI, 8), x86.ImmOp(8, 1))
+		a.I(x86.DEC, x86.RegOp(x86.RSI, 8))
+		a.Jcc(x86.CondNE, "loop")
+		a.I(x86.RET)
+	})
+	an := Analyze(img, testText)
+	if an.Stats.Visits >= maxVisits {
+		t.Fatalf("loop did not reach a fixpoint: %+v", an.Stats)
+	}
+	// Around the back edge rdi disagrees (rdi0 vs rdi0+8), so after the
+	// join the store records only the first-visit region [rdi0,8].
+	if _, ok := an.Facts.Lookup(reg("rdi0", 0, 8), reg("rsp0", 0, 8)); !ok {
+		t.Fatalf("first-iteration region must be recorded; stats %+v", an.Stats)
+	}
+}
+
+// TestAnalyzeDeterministic pins that repeated analyses agree — the fact
+// table feeds cache keys and assumption lists, so run-to-run stability
+// matters.
+func TestAnalyzeDeterministic(t *testing.T) {
+	img := assemble(t, func(a *x86.Asm) {
+		a.I(x86.PUSH, x86.RegOp(x86.RBX, 8))
+		a.I(x86.SUB, x86.RegOp(x86.RSP, 8), x86.ImmOp(0x20, 1))
+		a.I(x86.MOV, x86.MemOp(x86.RDI, x86.RegNone, 1, 0, 8), x86.ImmOp(1, 4))
+		a.I(x86.MOV, x86.MemOp(x86.RSI, x86.RegNone, 1, 0, 8), x86.ImmOp(2, 4))
+		a.I(x86.MOV, x86.MemOp(x86.RDX, x86.RegNone, 1, 0, 8), x86.ImmOp(3, 4))
+		a.I(x86.MOV, x86.MemOp(x86.RSP, x86.RegNone, 1, 8, 8), x86.ImmOp(4, 4))
+		a.I(x86.ADD, x86.RegOp(x86.RSP, 8), x86.ImmOp(0x20, 1))
+		a.I(x86.POP, x86.RegOp(x86.RBX, 8))
+		a.I(x86.RET)
+	})
+	a1 := Analyze(img, testText)
+	a2 := Analyze(img, testText)
+	if a1.Stats.Regions != a2.Stats.Regions || a1.Stats.Proven != a2.Stats.Proven ||
+		a1.Stats.Hypotheses != a2.Stats.Hypotheses {
+		t.Fatalf("nondeterministic stats: %+v vs %+v", a1.Stats, a2.Stats)
+	}
+	if a1.Facts.Len() != a2.Facts.Len() {
+		t.Fatalf("nondeterministic table size: %d vs %d", a1.Facts.Len(), a2.Facts.Len())
+	}
+}

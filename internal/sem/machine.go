@@ -32,6 +32,14 @@ type Config struct {
 	// top of the raw verdict are applied after the cache, so the recorded
 	// assumption side effects are never skipped.
 	SolverCache *solver.Cache
+	// Facts, when non-nil, is the per-function fact table of the pointer
+	// pre-pass (internal/ptr), consulted before the cache and the decision
+	// procedure. Facts are scoped to one function's initial-state symbols
+	// (rsp0, rdi0, …), so they live here — in the per-lift config — and
+	// never in the cross-function SolverCache. Assumed facts (separation
+	// hypotheses) are recorded as assumptions exactly like the machine's
+	// own AssumeBaseSeparation ones.
+	Facts *solver.Facts
 	// Tracer, when non-nil, receives a structured event per solver query
 	// and per memory-model fork/destroy. Emission is nil-safe, so the
 	// disabled (nil) tracer costs one pointer check per event site.
@@ -76,6 +84,12 @@ type Counters struct {
 	// models in which some region was destroyed.
 	Forks    uint64
 	Destroys uint64
+	// FactHits counts oracle comparisons answered from the pointer
+	// pre-pass fact table (0 without Config.Facts); Fallbacks counts
+	// insertions that abandoned their forked models (fan-out past
+	// MaxModels) and destroyed instead.
+	FactHits  uint64
+	Fallbacks uint64
 }
 
 // Add accumulates another counter record.
@@ -84,6 +98,8 @@ func (c *Counters) Add(o Counters) {
 	c.SolverHits += o.SolverHits
 	c.Forks += o.Forks
 	c.Destroys += o.Destroys
+	c.FactHits += o.FactHits
+	c.Fallbacks += o.Fallbacks
 }
 
 // Counters returns the machine's activity counters.
@@ -107,8 +123,13 @@ func (m *Machine) compare(p *pred.Pred, r0, r1 solver.Region) solver.Result {
 	return res
 }
 
-// noteIns records the fork/destroy fan-out of one memory-model insertion.
-func (m *Machine) noteIns(results []memmodel.InsResult) {
+// noteIns records the fork/destroy fan-out of one memory-model insertion,
+// and whether the insertion fell back to destroying past MaxModels.
+func (m *Machine) noteIns(results []memmodel.InsResult, fellBack bool) {
+	if fellBack {
+		m.counters.Fallbacks++
+		m.Cfg.Tracer.Fallback(m.curAddr)
+	}
 	if len(results) > 1 {
 		extra := uint64(len(results) - 1)
 		m.counters.Forks += extra
@@ -164,8 +185,22 @@ type oracle struct {
 }
 
 // Compare answers a necessarily-relation query; undecided cross-provenance
-// pairs are assumed separate (recorded as a proof obligation).
+// pairs are assumed separate (recorded as a proof obligation). The pointer
+// pre-pass fact table, when present, is consulted first: proven facts are
+// predicate-independent (they short-circuit the cache and the decision
+// procedure), and assumed facts record the same separation-assumption
+// obligation AssumeBaseSeparation would, so the graph's assumption list
+// stays honest about every hypothesis the lift rests on.
 func (o oracle) Compare(r0, r1 solver.Region) solver.Result {
+	if f, ok := o.m.Cfg.Facts.Lookup(r0, r1); ok {
+		o.m.counters.FactHits++
+		o.m.Cfg.Tracer.FactHit(o.m.curAddr)
+		if f.Assumed {
+			o.m.assume(fmt.Sprintf("@%x : [%s, %d] ASSUMED SEPARATE FROM [%s, %d]",
+				o.m.curAddr, r0.Addr, r0.Size, r1.Addr, r1.Size))
+		}
+		return f.Res
+	}
 	res := o.m.compare(o.s.Pred, r0, r1)
 	if res.Decided() || !o.m.Cfg.AssumeBaseSeparation {
 		return res

@@ -55,8 +55,8 @@ func (m *Machine) readMem(st *State, addr *expr.Expr, size int) []valState {
 
 	// General case: insert the region into the memory model; derive the
 	// value per produced model.
-	results := memmodel.Ins(memmodel.NewRegion(addr, uint64(size)), st.Mem, oracle{m, st}, m.Cfg.MM)
-	m.noteIns(results)
+	results, fellBack := memmodel.InsCounted(memmodel.NewRegion(addr, uint64(size)), st.Mem, oracle{m, st}, m.Cfg.MM)
+	m.noteIns(results, fellBack)
 	out := make([]valState, 0, len(results))
 	freshVal := m.fresh() // same variable in every fork: deterministic
 	for i, res := range results {
@@ -129,8 +129,8 @@ func (m *Machine) writeMem(st *State, addr *expr.Expr, size int, val *expr.Expr)
 		st.Pred.WriteMem(addr, size, val)
 		return []*State{st}
 	}
-	results := memmodel.Ins(memmodel.NewRegion(addr, uint64(size)), st.Mem, oracle{m, st}, m.Cfg.MM)
-	m.noteIns(results)
+	results, fellBack := memmodel.InsCounted(memmodel.NewRegion(addr, uint64(size)), st.Mem, oracle{m, st}, m.Cfg.MM)
+	m.noteIns(results, fellBack)
 	out := make([]*State, 0, len(results))
 	for i, res := range results {
 		s := st

@@ -1,0 +1,131 @@
+package solver
+
+import "repro/internal/expr"
+
+// Fact is one stored relation verdict between a pair of regions. Proven
+// facts (Assumed=false) were decided by Compare under the empty predicate:
+// only the constant-difference path of Compare decides there, and that path
+// never consults the predicate, so the verdict holds under every predicate
+// the lifter will ever carry. Assumed facts are separation hypotheses
+// (distinct symbolic provenance bases) in the same spirit as the machine's
+// AssumeBaseSeparation; consumers must record them as assumptions so they
+// surface in the lifted graph's assumption list.
+type Fact struct {
+	Res     Result
+	Assumed bool
+}
+
+// Facts is an immutable-after-build table of region-pair facts computed by
+// a pre-pass (internal/ptr) and consulted by the semantics before the
+// decision procedure. One verdict is stored per unordered pair — sound
+// because Compare is swap-consistent: Alias/Separate/Partial are symmetric
+// and Enclosed/Encloses swap under argument exchange (pinned by
+// TestCompareSwapConsistency) — and Lookup re-orients the stored Result to
+// the probe's argument order.
+//
+// Keys are the same MixFP(address fingerprint, size) region fingerprints the
+// solver memo cache uses, so probing allocates nothing. Facts are
+// per-function: initial-state register symbols (rsp0, rdi0, …) are reused
+// across functions, so a table must never outlive the function whose entry
+// state named its bases — which is also why facts must never be written into
+// the cross-function solver.Cache.
+type Facts struct {
+	m          map[factKey]factEntry
+	proven     int
+	hypotheses int
+}
+
+// factKey identifies an unordered region pair by fingerprints, lower first.
+type factKey struct {
+	lo, hi uint64
+}
+
+// factEntry stores the fact oriented lo-region-first.
+type factEntry struct {
+	f Fact
+}
+
+// NewFacts returns an empty table.
+func NewFacts() *Facts {
+	return &Facts{m: map[factKey]factEntry{}}
+}
+
+// regionFP fingerprints a region exactly like the solver memo cache.
+func regionFP(r Region) uint64 {
+	return expr.MixFP(r.Addr.Fingerprint(), r.Size)
+}
+
+// Add records res as the fact for the unordered pair {r0, r1}, normalizing
+// the orientation so the stored Result reads (lower-fingerprint region,
+// higher-fingerprint region). A later Add for the same pair overwrites.
+func (f *Facts) Add(r0, r1 Region, res Result, assumed bool) {
+	fp0, fp1 := regionFP(r0), regionFP(r1)
+	if fp0 > fp1 {
+		fp0, fp1 = fp1, fp0
+		res = swapResult(res)
+	}
+	key := factKey{lo: fp0, hi: fp1}
+	if _, dup := f.m[key]; !dup {
+		if assumed {
+			f.hypotheses++
+		} else {
+			f.proven++
+		}
+	}
+	f.m[key] = factEntry{f: Fact{Res: res, Assumed: assumed}}
+}
+
+// Lookup returns the stored fact for (r0, r1), re-oriented to that argument
+// order. Nil-safe: a nil table never has facts.
+func (f *Facts) Lookup(r0, r1 Region) (Fact, bool) {
+	if f == nil {
+		return Fact{}, false
+	}
+	fp0, fp1 := regionFP(r0), regionFP(r1)
+	swapped := false
+	if fp0 > fp1 {
+		fp0, fp1 = fp1, fp0
+		swapped = true
+	}
+	e, ok := f.m[factKey{lo: fp0, hi: fp1}]
+	if !ok {
+		return Fact{}, false
+	}
+	fact := e.f
+	if swapped {
+		fact.Res = swapResult(fact.Res)
+	}
+	return fact, true
+}
+
+// Len returns the number of stored pair facts. Nil-safe.
+func (f *Facts) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.m)
+}
+
+// Proven returns the number of predicate-independent proven facts. Nil-safe.
+func (f *Facts) Proven() int {
+	if f == nil {
+		return 0
+	}
+	return f.proven
+}
+
+// Hypotheses returns the number of assumed separation facts. Nil-safe.
+func (f *Facts) Hypotheses() int {
+	if f == nil {
+		return 0
+	}
+	return f.hypotheses
+}
+
+// swapResult re-orients a Result for exchanged arguments: aliasing,
+// separation and partial overlap are symmetric, the two enclosure relations
+// exchange.
+func swapResult(r Result) Result {
+	r.Enclosed, r.Encloses = r.Encloses, r.Enclosed
+	return r
+}

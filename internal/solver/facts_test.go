@@ -1,0 +1,154 @@
+package solver
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/pred"
+)
+
+func TestFactsNilSafe(t *testing.T) {
+	var f *Facts
+	if _, ok := f.Lookup(Region{rsp(0), 8}, Region{rsp(8), 8}); ok {
+		t.Fatal("nil table must not report facts")
+	}
+	if f.Len() != 0 || f.Proven() != 0 || f.Hypotheses() != 0 {
+		t.Fatal("nil table must report zero sizes")
+	}
+}
+
+func TestFactsAddLookupOrientation(t *testing.T) {
+	f := NewFacts()
+	small := Region{rsp(4), 4}
+	big := Region{rsp(0), 8}
+	res := Compare(pred.New(), small, big)
+	if res.Enclosed != Yes {
+		t.Fatalf("fixture: %+v", res)
+	}
+	f.Add(small, big, res, false)
+
+	got, ok := f.Lookup(small, big)
+	if !ok || got.Res != res || got.Assumed {
+		t.Fatalf("same-order lookup: %+v ok=%v", got, ok)
+	}
+	// Reversed probe must re-orient: big encloses small.
+	rev, ok := f.Lookup(big, small)
+	if !ok || rev.Res.Encloses != Yes || rev.Res.Enclosed != No {
+		t.Fatalf("reversed lookup must swap enclosure: %+v ok=%v", rev, ok)
+	}
+	if rev.Res.Alias != res.Alias || rev.Res.Separate != res.Separate || rev.Res.Partial != res.Partial {
+		t.Fatalf("symmetric verdicts must be unchanged: %+v vs %+v", rev.Res, res)
+	}
+
+	if f.Len() != 1 || f.Proven() != 1 || f.Hypotheses() != 0 {
+		t.Fatalf("counts: len=%d proven=%d hyp=%d", f.Len(), f.Proven(), f.Hypotheses())
+	}
+
+	// Hypotheses count separately; re-adding a pair overwrites, not grows.
+	hyp := Result{Separate: Yes, Alias: No, Enclosed: No, Encloses: No, Partial: No}
+	f.Add(Region{expr.V("rdi0"), 8}, Region{expr.V("rsi0"), 8}, hyp, true)
+	f.Add(Region{expr.V("rsi0"), 8}, Region{expr.V("rdi0"), 8}, hyp, true)
+	if f.Len() != 2 || f.Hypotheses() != 1 {
+		t.Fatalf("hypothesis counts: len=%d hyp=%d", f.Len(), f.Hypotheses())
+	}
+	g, ok := f.Lookup(Region{expr.V("rsi0"), 8}, Region{expr.V("rdi0"), 8})
+	if !ok || !g.Assumed || g.Res.Separate != Yes {
+		t.Fatalf("hypothesis lookup: %+v ok=%v", g, ok)
+	}
+}
+
+// randRegion builds a random region whose address is drawn from the linear
+// fragment the lifter actually produces: an optional symbolic base, an
+// optional scaled index term, and a constant offset.
+func randRegion(rng *rand.Rand, idx *expr.Expr) Region {
+	bases := []*expr.Expr{
+		expr.V("rsp0"), expr.V("rdi0"), expr.V("rsi0"), expr.V("rdx0"), nil,
+	}
+	addr := expr.Word(uint64(int64(rng.Intn(64) - 32)))
+	if b := bases[rng.Intn(len(bases))]; b != nil {
+		addr = expr.Add(b, addr)
+	} else {
+		// Pure constant: bias into a plausible global address range.
+		addr = expr.Add(addr, expr.Word(0x4a0000))
+	}
+	if rng.Intn(3) == 0 {
+		coeff := uint64(1) << uint(rng.Intn(4))
+		addr = expr.Add(addr, expr.Mul(expr.Word(coeff), idx))
+	}
+	sizes := []uint64{1, 2, 4, 8, 16}
+	return Region{Addr: addr, Size: sizes[rng.Intn(len(sizes))]}
+}
+
+// checkSwap verifies the unordered-pair contract the fact table stores one
+// verdict under: symmetric relations agree and enclosure swaps.
+func checkSwap(t *testing.T, p *pred.Pred, a, b Region) {
+	t.Helper()
+	ab := Compare(p, a, b)
+	ba := Compare(p, b, a)
+	if ab.Alias != ba.Alias {
+		t.Fatalf("Alias not symmetric: %v vs %v (a=%s/%d b=%s/%d)",
+			ab.Alias, ba.Alias, a.Addr, a.Size, b.Addr, b.Size)
+	}
+	if ab.Separate != ba.Separate {
+		t.Fatalf("Separate not symmetric: %v vs %v (a=%s/%d b=%s/%d)",
+			ab.Separate, ba.Separate, a.Addr, a.Size, b.Addr, b.Size)
+	}
+	if ab.Partial != ba.Partial {
+		t.Fatalf("Partial not symmetric: %v vs %v (a=%s/%d b=%s/%d)",
+			ab.Partial, ba.Partial, a.Addr, a.Size, b.Addr, b.Size)
+	}
+	if ab.Enclosed != ba.Encloses || ab.Encloses != ba.Enclosed {
+		t.Fatalf("enclosure must swap: %+v vs %+v (a=%s/%d b=%s/%d)",
+			ab, ba, a.Addr, a.Size, b.Addr, b.Size)
+	}
+	if swapResult(ab) != ba {
+		t.Fatalf("swapResult(Compare(a,b)) != Compare(b,a): %+v vs %+v", swapResult(ab), ba)
+	}
+}
+
+func TestCompareSwapConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	idx := expr.V("i")
+	for trial := 0; trial < 2000; trial++ {
+		p := pred.New()
+		switch rng.Intn(3) {
+		case 0:
+			// No interval clause: only the constant path decides.
+		case 1:
+			p.AddRange(idx, pred.Range{Lo: 0, Hi: uint64(rng.Intn(16))})
+		default:
+			lo := uint64(rng.Intn(8))
+			p.AddRange(idx, pred.Range{Lo: lo, Hi: lo + uint64(rng.Intn(16))})
+		}
+		checkSwap(t, p, randRegion(rng, idx), randRegion(rng, idx))
+	}
+}
+
+func FuzzCompareSwap(f *testing.F) {
+	f.Add(int64(1), uint8(4))
+	f.Add(int64(42), uint8(0))
+	f.Add(int64(-7), uint8(15))
+	f.Fuzz(func(t *testing.T, seed int64, hi uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		idx := expr.V(expr.Var(fmt.Sprintf("i%d", seed&3)))
+		p := pred.New()
+		if hi%2 == 0 {
+			p.AddRange(idx, pred.Range{Lo: 0, Hi: uint64(hi)})
+		}
+		a, b := randRegion(rng, idx), randRegion(rng, idx)
+		checkSwap(t, p, a, b)
+
+		// Round-trip through the table in both orientations.
+		facts := NewFacts()
+		facts.Add(a, b, Compare(p, a, b), false)
+		got, ok := facts.Lookup(b, a)
+		if !ok {
+			t.Fatal("stored pair must be found in reversed order")
+		}
+		if got.Res != Compare(p, b, a) {
+			t.Fatalf("reversed lookup %+v != direct Compare %+v", got.Res, Compare(p, b, a))
+		}
+	})
+}

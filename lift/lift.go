@@ -243,6 +243,16 @@ func JoinCodePointers() Option {
 	return func(s *settings) { s.baseCfg.JoinCodePointers = true; s.cfgMod = true }
 }
 
+// PointerFacts enables the pointer-analysis pre-pass on every request: a
+// per-function fact table of proven region relations and separation
+// hypotheses is computed before exploring, answering comparisons without
+// the decision procedure and without forking the memory model. Set at the
+// run level (pipeline.Options) so it also folds into per-request Config
+// overrides and the store's configuration fingerprint.
+func PointerFacts() Option {
+	return func(s *settings) { s.popts.PointerFacts = true }
+}
+
 // Config replaces the base lifter configuration outright for every
 // request without its own override.
 func Config(cfg core.Config) Option {

@@ -63,6 +63,14 @@ if [ "$short" -eq 0 ]; then
         . | tee -a "$raw"
 fi
 
+# Pointer pre-pass: the pathological ptr_ directory without and with
+# per-function fact tables, plus the pre-pass on its own. The
+# PtrPathology vs PtrPathologyFacts pair (wall time and the fork+destroy
+# metric) is the datapoint recorded in BENCH_PR10.json.
+go test -run '^$' -count="$count" -benchmem \
+    -bench '^(BenchmarkPtrPathology|BenchmarkPtrPathologyFacts|BenchmarkPtrAnalyze)$' \
+    . | tee -a "$raw"
+
 # Distributed Step 2: the in-process baseline against worker-subprocess
 # runs at 1/2/4 workers (internal/dist). The workers=1 vs workers=N pair
 # is the scaling datapoint recorded in BENCH_PR6.json; workers=1 vs
